@@ -1,0 +1,106 @@
+"""Ablation — §VI-C mitigations applied to the most vulnerable profiles.
+
+Not a paper table: this quantifies each proposed mitigation's effect on
+the headline numbers, isolating the design choices DESIGN.md calls out:
+
+* Laziness (G-Core's deployed fix) vs the SBR attack;
+* bounded +8 KB expansion vs the SBR attack;
+* the RFC 7233 §6.1 overlap guard (CDN77's deployed fix) vs the OBR
+  attack.
+"""
+
+from repro.cdn.vendors import create_profile
+from repro.core.deployment import CdnSpec, Deployment
+from repro.core.obr import ObrAttack
+from repro.core.sbr import SbrAttack
+from repro.defense.mitigations import (
+    with_bounded_expansion,
+    with_laziness,
+    with_overlap_rejection,
+    with_slicing,
+)
+from repro.origin.server import OriginServer
+from repro.reporting.render import render_table
+
+from benchmarks.conftest import save_artifact
+
+MB = 1 << 20
+
+
+def _sbr_factor_with_profile(profile, size=10 * MB):
+    origin = OriginServer()
+    origin.add_synthetic_resource("/target.bin", size)
+    deployment = Deployment.single(CdnSpec(profile=profile), origin)
+    result = deployment.client().get("/target.bin?cb=0", range_value="bytes=0-0")
+    from repro.netsim.tap import CDN_ORIGIN, CLIENT_CDN
+
+    origin_bytes = deployment.response_traffic(CDN_ORIGIN)
+    client_bytes = deployment.response_traffic(CLIENT_CDN)
+    return origin_bytes / client_bytes if client_bytes else 0.0
+
+
+def _obr_factor_with_mitigated_bcdn(mitigate):
+    attack = ObrAttack("cloudflare", "akamai")
+    original_build = attack.build_deployment
+
+    def build():
+        deployment = original_build()
+        if mitigate:
+            deployment.nodes[1].profile = with_overlap_rejection(
+                deployment.nodes[1].profile
+            )
+        return deployment
+
+    attack.build_deployment = build  # type: ignore[method-assign]
+    n = attack.find_max_n()
+    if n < 1:
+        return 0, 0.0
+    return n, attack.run(overlap_count=n).amplification
+
+
+def _regenerate():
+    rows = []
+
+    baseline = SbrAttack("gcore", resource_size=10 * MB).run().amplification
+    lazy = _sbr_factor_with_profile(with_laziness(create_profile("gcore")))
+    bounded = _sbr_factor_with_profile(with_bounded_expansion(create_profile("gcore")))
+    sliced = _sbr_factor_with_profile(
+        with_slicing(create_profile("gcore"), slice_size=64 * 1024)
+    )
+    rows.append(("SBR vs G-Core", "none (vulnerable)", baseline))
+    rows.append(("SBR vs G-Core", "laziness", lazy))
+    rows.append(("SBR vs G-Core", "bounded expansion (+8KB)", bounded))
+    rows.append(("SBR vs G-Core", "slicing (64KB slices)", sliced))
+
+    n_vulnerable, obr_baseline = _obr_factor_with_mitigated_bcdn(mitigate=False)
+    n_mitigated, obr_mitigated = _obr_factor_with_mitigated_bcdn(mitigate=True)
+    rows.append(
+        (f"OBR Cloudflare->Akamai (n={n_vulnerable})", "none (vulnerable)", obr_baseline)
+    )
+    rows.append(
+        (f"OBR Cloudflare->Akamai (n={n_mitigated})", "RFC7233 6.1 guard", obr_mitigated)
+    )
+    return rows
+
+
+def test_ablation_mitigations(benchmark, output_dir):
+    rows = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    by_key = {(attack, mitigation): factor for attack, mitigation, factor in rows}
+
+    baseline = by_key[("SBR vs G-Core", "none (vulnerable)")]
+    assert baseline > 10_000
+    assert by_key[("SBR vs G-Core", "laziness")] < 3
+    assert by_key[("SBR vs G-Core", "bounded expansion (+8KB)")] < 20
+    # Slicing bounds the pull to one slice: ~64KB/600B ~ 110x, and
+    # size-independent (vs 17600x vulnerable at 10 MB).
+    assert by_key[("SBR vs G-Core", "slicing (64KB slices)")] < 150
+
+    obr_rows = [(a, m, f) for a, m, f in rows if a.startswith("OBR")]
+    assert obr_rows[0][2] > 1000   # vulnerable
+    assert obr_rows[1][2] < 5      # mitigated
+
+    rendered = render_table(
+        ["Attack", "Mitigation", "Amplification"],
+        [[attack, mitigation, f"{factor:.2f}"] for attack, mitigation, factor in rows],
+    )
+    save_artifact(output_dir, "ablation_mitigations.txt", rendered)

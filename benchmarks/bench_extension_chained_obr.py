@@ -1,0 +1,80 @@
+"""Extension — OBR through chains longer than the paper's two CDNs.
+
+The paper cascades exactly two CDNs (FCDN → BCDN).  Chaining additional
+*lazy* front hops relays the n-part multipart across every inter-CDN
+link, multiplying the total amplified traffic by the number of lazy hops
+— the attack surface grows linearly with chain depth while the
+attacker's and origin's costs stay flat.
+"""
+
+from repro.cdn.vendors.base import VendorConfig
+from repro.core.deployment import CdnSpec, Deployment
+from repro.http.grammar import overlapping_open_ranges_value
+from repro.origin.server import OriginServer
+from repro.reporting.render import format_bytes, render_table
+
+from benchmarks.conftest import save_artifact
+
+OVERLAPS = 256
+
+
+def _origin():
+    origin = OriginServer(range_support=False)
+    origin.add_synthetic_resource("/1KB.bin", 1024)
+    return origin
+
+
+def _lazy(vendor):
+    return CdnSpec(vendor=vendor, config=VendorConfig(bypass_cache=True))
+
+
+def _run_chain(lazy_hops):
+    chain = [_lazy("cloudflare") for _ in range(lazy_hops)] + [CdnSpec(vendor="akamai")]
+    deployment = Deployment(_origin(), chain)
+    deployment.client().get(
+        "/1KB.bin",
+        range_value=overlapping_open_ranges_value(OVERLAPS),
+        abort_after=2048,
+    )
+    segments = [node.upstream_segment for node in deployment.nodes]
+    origin_segment = segments[-1]
+    inter_cdn = segments[:-1]
+    amplified_total = sum(deployment.response_traffic(s) for s in inter_cdn)
+    return {
+        "hops": lazy_hops,
+        "origin_bytes": deployment.response_traffic(origin_segment),
+        "amplified_total": amplified_total,
+        "links": len(inter_cdn),
+    }
+
+
+def _regenerate():
+    return [_run_chain(hops) for hops in (1, 2, 3)]
+
+
+def test_extension_chained_obr(benchmark, output_dir):
+    results = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    base = results[0]["amplified_total"]
+    assert base > OVERLAPS * 1024
+    # Each extra lazy hop adds one more amplified link of the same size.
+    for result in results:
+        per_link = result["amplified_total"] / result["links"]
+        assert abs(per_link - base) <= 0.05 * base
+    # Origin cost stays flat regardless of depth.
+    origin_costs = [r["origin_bytes"] for r in results]
+    assert max(origin_costs) - min(origin_costs) < 200
+
+    rendered = render_table(
+        ["lazy hops", "amplified links", "origin->BCDN", "total amplified traffic"],
+        [
+            [
+                r["hops"],
+                r["links"],
+                format_bytes(r["origin_bytes"]),
+                format_bytes(r["amplified_total"]),
+            ]
+            for r in results
+        ],
+    )
+    save_artifact(output_dir, "extension_chained_obr.txt", rendered)

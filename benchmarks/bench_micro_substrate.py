@@ -1,0 +1,75 @@
+"""Microbenchmarks of the hot substrate paths.
+
+Not a paper artifact: these time the primitives every experiment leans
+on, so regressions in the simulator itself are visible — Range parsing,
+multipart assembly at OBR scale, and the full single-CDN pipeline.
+"""
+
+from repro.cdn.node import CdnNode
+from repro.cdn.vendors import create_profile
+from repro.http.body import SyntheticBody
+from repro.http.grammar import overlapping_open_ranges_value
+from repro.http.message import HttpRequest
+from repro.http.multipart import MultipartByteranges
+from repro.http.ranges import ResolvedRange, parse_range_header
+from repro.netsim.tap import TrafficLedger
+from repro.origin.server import OriginServer
+
+MB = 1 << 20
+
+
+def test_parse_single_range(benchmark):
+    benchmark(parse_range_header, "bytes=0-0")
+
+
+def test_parse_obr_range_10k(benchmark):
+    value = overlapping_open_ranges_value(10_750)
+    result = benchmark(parse_range_header, value)
+    assert len(result) == 10_750
+
+
+def test_resolve_obr_range_10k(benchmark):
+    spec = parse_range_header(overlapping_open_ranges_value(10_750))
+    resolved = benchmark(spec.resolve, 1024)
+    assert len(resolved) == 10_750
+
+
+def test_multipart_build_10k_parts(benchmark):
+    resource = SyntheticBody(1024)
+    ranges = [ResolvedRange(0, 1023)] * 10_750
+
+    def build():
+        return MultipartByteranges.build(
+            resource_body=resource,
+            ranges=ranges,
+            content_type="application/octet-stream",
+        ).wire_size()
+
+    size = benchmark(build)
+    assert size > 10_750 * 1024
+
+
+def test_sbr_pipeline_round(benchmark):
+    """One full client -> CDN -> origin SBR round at 10 MB."""
+    origin = OriginServer()
+    origin.add_synthetic_resource("/target.bin", 10 * MB)
+    node = CdnNode(create_profile("gcore"), origin, ledger=TrafficLedger())
+    counter = iter(range(10_000_000))
+
+    def round_trip():
+        request = HttpRequest(
+            "GET",
+            f"/target.bin?cb={next(counter)}",
+            headers=[("Host", "victim.example"), ("Range", "bytes=0-0")],
+        )
+        return node.handle(request).status
+
+    assert benchmark(round_trip) == 206
+
+
+def test_origin_full_response(benchmark):
+    origin = OriginServer()
+    origin.add_synthetic_resource("/target.bin", 25 * MB)
+    request = HttpRequest("GET", "/target.bin", headers=[("Host", "h")])
+    response = benchmark(origin.handle, request)
+    assert response.status == 200

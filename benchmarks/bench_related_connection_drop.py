@@ -1,0 +1,53 @@
+"""Related-work comparison (paper §VIII) — the ESORICS'09
+connection-drop attack vs the SBR attack, per vendor.
+
+The paper re-evaluated Triukose et al.'s attack and found most CDNs now
+break their back-end fetch when the client connection is cut — a defense
+that RangeAmp sidesteps entirely, because an SBR exchange completes
+normally.  This bench reproduces the comparison across all 13 vendors.
+"""
+
+from repro.cdn.vendors import all_vendor_names
+from repro.core.connection_drop import compare_with_sbr
+from repro.reporting.render import format_bytes, render_table
+
+from benchmarks.conftest import save_artifact
+
+MB = 1 << 20
+
+
+def _regenerate():
+    return [compare_with_sbr(vendor, resource_size=10 * MB) for vendor in all_vendor_names()]
+
+
+def test_related_connection_drop(benchmark, output_dir):
+    comparisons = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    # Paper §IV-C/§VIII: only CDN77 and CDNsun still ship the whole
+    # resource after a client abort...
+    undefended = {
+        c.vendor for c in comparisons if not c.connection_drop.defended
+    }
+    assert undefended == {"cdn77", "cdnsun"}
+
+    # ...while the SBR attack amplifies through every vendor regardless.
+    for comparison in comparisons:
+        assert comparison.sbr_amplification > 5000, comparison.vendor
+    bypassed = {c.vendor for c in comparisons if c.defense_bypassed}
+    assert bypassed == set(all_vendor_names()) - {"cdn77", "cdnsun"}
+
+    rendered = render_table(
+        ["CDN", "abort defense", "drop-attack origin egress", "SBR factor @10MB"],
+        [
+            [
+                c.vendor,
+                "maintains back-end (vulnerable)"
+                if c.connection_drop.backend_maintained
+                else "breaks back-end (defended)",
+                format_bytes(c.connection_drop.origin_traffic),
+                f"{c.sbr_amplification:.0f}x",
+            ]
+            for c in comparisons
+        ],
+    )
+    save_artifact(output_dir, "related_connection_drop.txt", rendered)

@@ -1,0 +1,46 @@
+"""Table II — range forwarding behaviors vulnerable to the OBR attack.
+
+Identifies the CDNs that forward overlapping multi-range requests
+unchanged (the usable OBR front-ends): CDN77, CDNsun, Cloudflare (under
+the Bypass rule), and StackPath.
+"""
+
+from repro.core.feasibility import survey
+from repro.reporting.paper_values import PAPER_OBR_FRONTENDS
+from repro.reporting.render import render_table
+from repro.reporting.tables import table2_rows
+
+from benchmarks.conftest import save_artifact
+
+
+def _regenerate():
+    feasibility = survey(file_size=16 * 1024)
+    rows = table2_rows(feasibility=feasibility)
+    conditional = {
+        name for name, verdict in feasibility.items() if verdict.obr_fcdn_conditional
+    }
+    return rows, conditional
+
+
+def test_table2_obr_forwarding(benchmark, output_dir):
+    rows, conditional = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    assert {row.vendor for row in rows} == set(PAPER_OBR_FRONTENDS), (
+        "Table II membership mismatch"
+    )
+    assert conditional == {"cloudflare"}, (
+        "only Cloudflare's front-end laziness is config-conditional (*)"
+    )
+
+    rendered = render_table(
+        ["CDN", "Lazy Multi-Range Formats", "Conditional"],
+        [
+            [
+                row.display_name,
+                "; ".join(row.lazy_formats),
+                "(*)" if row.vendor in conditional else "",
+            ]
+            for row in rows
+        ],
+    )
+    save_artifact(output_dir, "table2_obr_forwarding.txt", rendered)

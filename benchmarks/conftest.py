@@ -1,0 +1,28 @@
+"""Shared benchmark helpers.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures.  Besides timing the regeneration with pytest-benchmark, each
+bench renders its artifact to ``benchmarks/output/`` so a run leaves the
+full paper-vs-measured record on disk (EXPERIMENTS.md links there).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_artifact(output_dir: Path, name: str, content: str) -> None:
+    """Write one rendered table/figure and echo it to the terminal."""
+    path = output_dir / name
+    path.write_text(content, encoding="utf-8")
+    print(f"\n=== {name} ===\n{content}")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Project the monetary damage of RangeAmp campaigns (paper §V-E).
+
+Most CDNs bill their customers per delivered gigabyte, so an SBR
+attacker runs up the victim's CDN bill while paying almost nothing.
+This example projects one hour of attack at 10 requests/second against
+every vendor, plus an OBR inter-CDN burn estimate.
+
+Usage::
+
+    python examples/attack_economics.py
+"""
+
+from repro.cdn.vendors import all_vendor_names
+from repro.core.economics import estimate_obr_campaign, estimate_sbr_campaign
+from repro.reporting.render import format_bytes, render_table
+
+MB = 1 << 20
+
+
+def main() -> None:
+    print("SBR campaigns: 10 req/s for 1 hour, 25 MB target resource\n")
+    rows = []
+    for vendor in all_vendor_names():
+        campaign = estimate_sbr_campaign(
+            vendor,
+            resource_size=25 * MB,
+            requests_per_second=10.0,
+            duration_seconds=3600.0,
+        )
+        rows.append(
+            [
+                vendor,
+                format_bytes(campaign.victim_bytes),
+                f"{campaign.victim_bandwidth_mbps:.0f} Mbps",
+                format_bytes(campaign.attacker_bytes),
+                f"${campaign.victim_cost_usd:,.2f}"
+                if campaign.rate_usd_per_gb
+                else "flat-rate plan",
+                f"{campaign.saturating_rate(1000.0):.1f} req/s",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "CDN",
+                "victim traffic",
+                "victim egress",
+                "attacker traffic",
+                "victim bill (1h)",
+                "rate to pin 1Gbps",
+            ],
+            rows,
+        )
+    )
+
+    print("\nOBR campaign: Cloudflare -> Akamai at max n, 10 req/s for 1 hour\n")
+    campaign = estimate_obr_campaign(
+        "cloudflare", "akamai", requests_per_second=10.0, duration_seconds=3600.0
+    )
+    print(f"  inter-CDN traffic burned: {format_bytes(campaign.victim_bytes)} "
+          f"({campaign.victim_bandwidth_mbps:.0f} Mbps sustained)")
+    print(f"  attacker-side traffic:    {format_bytes(campaign.attacker_bytes)}")
+    print(f"  traffic billed at Akamai rates: ${campaign.victim_cost_usd:,.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""RangeAmp: a reproduction of *CDN Backfired: Amplification Attacks
+Based on HTTP Range Requests* (DSN 2020).
+
+The library builds a wire-accurate HTTP/CDN simulation substrate —
+origin server, 13 CDN vendor behavior profiles, per-segment traffic
+taps — and on top of it the paper's two attacks:
+
+* **SBR** (Small Byte Range): tiny range request in, whole resource out
+  of the origin (:class:`repro.core.sbr.SbrAttack`);
+* **OBR** (Overlapping Byte Ranges): n overlapping ranges through a lazy
+  front CDN, an n-part multipart out of the back CDN
+  (:class:`repro.core.obr.ObrAttack`).
+
+Quickstart::
+
+    from repro import SbrAttack
+
+    result = SbrAttack("akamai", resource_size=25 * 1024 * 1024).run()
+    print(f"amplification: {result.amplification:.0f}x")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.cdn.cluster import EdgeCluster
+from repro.cdn.vendors import all_vendor_names, create_profile
+from repro.clienttools.downloader import ResumingDownload, SegmentedDownloader
+from repro.core.amplification import AmplificationReport
+from repro.core.cachebusting import CacheBuster
+from repro.core.campaign import CampaignResult, SbrCampaign
+from repro.core.connection_drop import ConnectionDropAttack, compare_with_sbr
+from repro.core.deployment import CdnSpec, Client, Deployment
+from repro.core.economics import estimate_obr_campaign, estimate_sbr_campaign
+from repro.core.feasibility import FeasibilityProbe, survey
+from repro.core.obr import ObrAttack, ObrResult, vulnerable_combinations
+from repro.core.practical import BandwidthAttackSimulation, BandwidthRunResult
+from repro.core.sbr import SbrAttack, SbrResult, exploited_range_cases, sweep_resource_sizes
+from repro.defense.detection import RangeAmpDetector
+from repro.defense.mitigations import (
+    MitigatedProfile,
+    with_bounded_expansion,
+    with_laziness,
+    with_overlap_rejection,
+    with_slicing,
+)
+from repro.errors import ReproError
+from repro.netsim.overhead import Http2FramingModel, TcpOverheadModel
+from repro.origin.server import OriginServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmplificationReport",
+    "BandwidthAttackSimulation",
+    "BandwidthRunResult",
+    "CacheBuster",
+    "CampaignResult",
+    "CdnSpec",
+    "Client",
+    "ConnectionDropAttack",
+    "Deployment",
+    "EdgeCluster",
+    "FeasibilityProbe",
+    "Http2FramingModel",
+    "MitigatedProfile",
+    "ObrAttack",
+    "ObrResult",
+    "OriginServer",
+    "RangeAmpDetector",
+    "ReproError",
+    "ResumingDownload",
+    "SbrAttack",
+    "SbrCampaign",
+    "SbrResult",
+    "SegmentedDownloader",
+    "TcpOverheadModel",
+    "__version__",
+    "all_vendor_names",
+    "compare_with_sbr",
+    "create_profile",
+    "estimate_obr_campaign",
+    "estimate_sbr_campaign",
+    "exploited_range_cases",
+    "survey",
+    "sweep_resource_sizes",
+    "vulnerable_combinations",
+    "with_bounded_expansion",
+    "with_laziness",
+    "with_overlap_rejection",
+    "with_slicing",
+]

@@ -1,0 +1,171 @@
+"""The CDN edge cache.
+
+Only complete 200 responses are cached (CDNs generally do not cache
+partial or multipart responses), keyed on ``(host, full target)`` — the
+full target *including the query string*, which is exactly why appending
+a random query string busts the cache and forces a back-to-origin fetch
+(paper §II-A).  The SBR attack depends on forcing that miss on every
+request; :mod:`repro.core.cachebusting` generates the query strings.
+
+Freshness follows shared-cache ``Cache-Control`` semantics:
+
+* ``no-store`` / ``private`` — never stored.  §II-A notes that "most
+  CDNs provide configurable options to customize caching policy, which
+  makes a malicious customer able to disable resource caching" — a
+  malicious origin emitting ``no-store`` gets the same every-request
+  back-to-origin behavior without any query-string busting.
+* ``s-maxage`` (shared caches) takes precedence over ``max-age``; either
+  sets the entry's TTL against the cache's simulated clock.
+* ``no-cache`` is treated as immediately stale (we do not model
+  revalidation requests).
+* absent directives fall back to ``default_ttl`` (``None`` = cache
+  forever, matching the deterministic experiments).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.netsim.clock import SimClock
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters the experiments assert on."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    uncacheable: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+def parse_cache_control(value: Optional[str]) -> Dict[str, Optional[str]]:
+    """Parse a Cache-Control header into a directive map.
+
+    Directive names are lowercased; valueless directives map to ``None``.
+    Malformed pieces are skipped (caches must be liberal here).
+    """
+    directives: Dict[str, Optional[str]] = {}
+    if not value:
+        return directives
+    for piece in value.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        name, _, argument = piece.partition("=")
+        name = name.strip().lower()
+        if not name:
+            continue
+        directives[name] = argument.strip().strip('"') if argument else None
+    return directives
+
+
+def shared_cache_ttl(directives: Dict[str, Optional[str]]) -> Optional[float]:
+    """Effective TTL for a shared cache, or ``None`` when unspecified.
+
+    ``s-maxage`` wins over ``max-age``; ``no-cache`` is zero TTL.
+    Unparsable ages are treated as unspecified.
+    """
+    if "no-cache" in directives:
+        return 0.0
+    for name in ("s-maxage", "max-age"):
+        raw = directives.get(name)
+        if raw is not None:
+            try:
+                return max(0.0, float(raw))
+            except ValueError:
+                continue
+    return None
+
+
+class CdnCache:
+    """A bounded FIFO cache of complete responses with TTL freshness."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_entries: int = 4096,
+        clock: Optional[SimClock] = None,
+        default_ttl: Optional[float] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self.clock = clock if clock is not None else SimClock()
+        self.default_ttl = default_ttl
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple[str, str], Tuple[HttpResponse, Optional[float]]]" = (
+            OrderedDict()
+        )
+
+    @staticmethod
+    def key_for(request: HttpRequest) -> Tuple[str, str]:
+        """Cache key: host plus the full request target (query included)."""
+        return (request.host or "", request.target)
+
+    def get(self, request: HttpRequest) -> Optional[HttpResponse]:
+        """Return a copy of the cached, still-fresh response for
+        ``request``."""
+        if not self.enabled or request.method != "GET":
+            return None
+        key = self.key_for(request)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        response, expires_at = entry
+        if expires_at is not None and self.clock.now >= expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return response.copy()
+
+    def put(self, request: HttpRequest, response: HttpResponse) -> bool:
+        """Cache ``response`` if it is a cacheable full 200; returns
+        whether it was stored."""
+        if not self.enabled or request.method != "GET" or response.status != 200:
+            return False
+        directives = parse_cache_control(response.headers.get("Cache-Control"))
+        if "no-store" in directives or "private" in directives:
+            self.stats.uncacheable += 1
+            return False
+        ttl = shared_cache_ttl(directives)
+        if ttl is None:
+            ttl = self.default_ttl
+        if ttl is not None and ttl <= 0:
+            self.stats.uncacheable += 1
+            return False
+        expires_at = None if ttl is None else self.clock.now + ttl
+        key = self.key_for(request)
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = (response.copy(), expires_at)
+        self.stats.stores += 1
+        return True
+
+    def purge(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        count = len(self._entries)
+        self._entries.clear()
+        return count
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, request: object) -> bool:
+        if not isinstance(request, HttpRequest):
+            return False
+        return self.key_for(request) in self._entries

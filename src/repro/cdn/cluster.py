@@ -1,0 +1,118 @@
+"""Multi-node edge clusters (paper §II-A, §V-D).
+
+A CDN is not one cache: it is clusters of ingress nodes with independent
+caches, scattered globally.  The paper leans on this twice — the "CDN as
+a natural distributed botnet" observation (§V-E), and the fourth
+experiment's methodology of sending requests "to completely different
+ingress nodes" (§V-D) so no single node's cache or rate limiter sees the
+whole stream.
+
+:class:`EdgeCluster` models a cluster of same-vendor edge nodes sharing
+one upstream and one traffic ledger but each with its own cache (and its
+own profile instance — KeyCDN's request memory is per-edge too).  Node
+selection is pluggable:
+
+* ``"rotate"`` — round-robin, the attacker's spread-the-load choice;
+* ``"url-hash"`` — consistent per-URL affinity, how anycast + URL
+  hashing tends to behave for benign clients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.cdn.node import CdnNode
+from repro.cdn.vendors import create_profile
+from repro.cdn.vendors.base import VendorConfig
+from repro.errors import ConfigurationError
+from repro.handler import HttpHandler
+from repro.http.message import HttpRequest, HttpResponse
+from repro.netsim.tap import CDN_ORIGIN, TrafficLedger
+
+#: Node-selection policies.
+ROTATE = "rotate"
+URL_HASH = "url-hash"
+
+
+class EdgeCluster(HttpHandler):
+    """A cluster of same-vendor edge nodes behind one logical hostname."""
+
+    def __init__(
+        self,
+        vendor: str,
+        upstream: HttpHandler,
+        node_count: int = 4,
+        ledger: Optional[TrafficLedger] = None,
+        upstream_segment: str = CDN_ORIGIN,
+        selection: str = ROTATE,
+        config: Optional[VendorConfig] = None,
+        size_hint_fn: Optional[Callable[[str], Optional[int]]] = None,
+    ) -> None:
+        if node_count < 1:
+            raise ConfigurationError(f"node_count must be >= 1, got {node_count}")
+        if selection not in (ROTATE, URL_HASH):
+            raise ConfigurationError(f"unknown selection policy {selection!r}")
+        self.vendor = vendor
+        self.selection = selection
+        self.ledger = ledger if ledger is not None else TrafficLedger()
+        self._cursor = 0
+        self.nodes: List[CdnNode] = []
+        for index in range(node_count):
+            profile = create_profile(vendor)
+            node_config = config if config is not None else type(profile).default_config()
+            self.nodes.append(
+                CdnNode(
+                    profile=profile,
+                    upstream=upstream,
+                    ledger=self.ledger,
+                    upstream_segment=upstream_segment,
+                    config=node_config,
+                    size_hint_fn=size_hint_fn,
+                    node_label=f"{vendor}-edge{index}",
+                )
+            )
+        self._served: Dict[int, int] = {index: 0 for index in range(node_count)}
+
+    # -- selection ------------------------------------------------------------
+
+    def node_for(self, request: HttpRequest) -> CdnNode:
+        """Pick the edge node that will serve ``request``."""
+        if self.selection == URL_HASH:
+            # Stable per-URL affinity; deterministic (no Python hash
+            # randomization) so experiments are reproducible.
+            key = f"{request.host or ''}|{request.target}"
+            index = sum(key.encode("utf-8")) % len(self.nodes)
+        else:
+            index = self._cursor % len(self.nodes)
+            self._cursor += 1
+        self._served[index] += 1
+        return self.nodes[index]
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        return self.node_for(request).handle(request)
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def served_per_node(self) -> List[int]:
+        """Requests served by each node, in node order."""
+        return [self._served[index] for index in range(len(self.nodes))]
+
+    def cache_entries_per_node(self) -> List[int]:
+        return [len(node.cache) for node in self.nodes]
+
+    def origin_fetches(self) -> int:
+        """Total back-to-origin exchanges across the cluster."""
+        segments = {node.upstream_segment for node in self.nodes}
+        return sum(
+            self.ledger.segment_stats(segment).exchange_count for segment in segments
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeCluster({self.vendor}, {len(self.nodes)} nodes, "
+            f"selection={self.selection!r})"
+        )

@@ -1,0 +1,101 @@
+"""Request-header size limits.
+
+The OBR attack's amplification is ``n`` (the number of overlapping
+ranges), and ``n`` is bounded only by how large a ``Range`` header the
+CDNs along the path will accept.  The paper measured (§V-C):
+
+* Akamai — total request headers limited to 32 KB;
+* StackPath — total limited to ~81 KB;
+* CDN77 / CDNsun — any single header line limited to 16 KB;
+* Cloudflare — ``RL + 2·HHL + RHL <= 32411`` bytes, where RL is the
+  request line, HHL the Host header line, and RHL the Range header line;
+* Azure — at most 64 ranges in a Range header.
+
+:class:`HeaderLimits` models all five shapes; exceeding a byte limit is
+answered with HTTP 431 and exceeding the range-count limit with 416,
+which is how the max-n search detects the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import RequestRejectedError
+from repro.http.message import HttpRequest
+from repro.http.ranges import try_parse_range_header
+from repro.http.status import StatusCode
+
+
+def cloudflare_rule(budget: int = 32411) -> Callable[[HttpRequest], Optional[str]]:
+    """Cloudflare's measured constraint on Range-bearing requests:
+    request line + 2x the Host header line + the Range header line must
+    fit in ``budget`` bytes."""
+
+    def check(request: HttpRequest) -> Optional[str]:
+        range_line = request.headers.field_line_size("Range")
+        if not range_line:
+            return None
+        request_line = request.request_line_size()
+        host_line = request.headers.field_line_size("Host")
+        used = request_line + 2 * host_line + range_line
+        if used > budget:
+            return f"RL + 2*HHL + RHL = {used} exceeds {budget}"
+        return None
+
+    return check
+
+
+@dataclass(frozen=True)
+class HeaderLimits:
+    """Request-size constraints a CDN enforces at ingress.
+
+    * ``max_total_header_bytes`` — cap on the whole request header block
+      (request line through the blank line), Akamai/StackPath style.
+    * ``max_single_header_line_bytes`` — cap on any one serialized header
+      line (``Name: value\\r\\n``), CDN77/CDNsun style.
+    * ``max_ranges`` — cap on the number of byte-range specs in the Range
+      header, Azure style.
+    * ``custom`` — an arbitrary predicate returning an error message, for
+      Cloudflare's composite rule.
+    """
+
+    max_total_header_bytes: Optional[int] = None
+    max_single_header_line_bytes: Optional[int] = None
+    max_ranges: Optional[int] = None
+    custom: Optional[Callable[[HttpRequest], Optional[str]]] = None
+
+    def check(self, request: HttpRequest) -> None:
+        """Raise :class:`RequestRejectedError` if ``request`` violates any
+        limit; return silently otherwise."""
+        if self.max_total_header_bytes is not None:
+            total = request.header_block_size()
+            if total > self.max_total_header_bytes:
+                raise RequestRejectedError(
+                    f"request header block is {total} bytes, "
+                    f"limit is {self.max_total_header_bytes}",
+                    status_code=int(StatusCode.REQUEST_HEADER_FIELDS_TOO_LARGE),
+                )
+        if self.max_single_header_line_bytes is not None:
+            for name in request.headers.names():
+                line = request.headers.field_line_size(name)
+                if line > self.max_single_header_line_bytes:
+                    raise RequestRejectedError(
+                        f"header {name} line is {line} bytes, "
+                        f"limit is {self.max_single_header_line_bytes}",
+                        status_code=int(StatusCode.REQUEST_HEADER_FIELDS_TOO_LARGE),
+                    )
+        if self.max_ranges is not None:
+            spec = try_parse_range_header(request.headers.get("Range"))
+            if spec is not None and len(spec) > self.max_ranges:
+                raise RequestRejectedError(
+                    f"Range header has {len(spec)} ranges, limit is {self.max_ranges}",
+                    status_code=int(StatusCode.RANGE_NOT_SATISFIABLE),
+                )
+        if self.custom is not None:
+            message = self.custom(request)
+            if message:
+                raise RequestRejectedError(
+                    message,
+                    status_code=int(StatusCode.REQUEST_HEADER_FIELDS_TOO_LARGE),
+                )

@@ -1,0 +1,322 @@
+"""The CDN edge-node request pipeline.
+
+A :class:`CdnNode` sits between a downstream client (the attacker, or
+another CDN) and an upstream handler (the origin, or another CDN) and:
+
+1. enforces the vendor's request-header limits;
+2. answers from its edge cache when it can;
+3. otherwise runs the vendor's fetch flow (forwarding policy + any
+   special multi-connection behavior), recording every upstream exchange
+   on the traffic ledger;
+4. builds the client response — relaying a laziness passthrough, or
+   serving the requested range(s) out of the fetched content window,
+   honoring/coalescing/rejecting multi-range requests per the vendor's
+   reply behavior;
+5. stamps the vendor's response headers (whose byte weight drives the
+   per-vendor amplification slopes).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, List, Optional
+
+from repro.cdn.cache import CdnCache
+from repro.cdn.multirange import apply_reply_behavior
+from repro.cdn.vendors.base import VendorConfig, VendorContext, VendorProfile
+from repro.cdn.window import ContentWindow
+from repro.errors import RangeNotSatisfiableError, RequestRejectedError
+from repro.handler import HttpHandler
+from repro.http.headers import Headers
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.multipart import MultipartByteranges, MultipartPart
+from repro.http.ranges import (
+    RangeSpecifier,
+    ResolvedRange,
+    format_content_range,
+    format_unsatisfied_content_range,
+    try_parse_range_header,
+)
+from repro.http.status import StatusCode
+from repro.netsim.tap import CDN_ORIGIN, TrafficLedger
+
+_FIXED_DATE = "Fri, 05 Jun 2020 08:00:00 GMT"
+
+logger = logging.getLogger(__name__)
+
+
+class CdnNode(HttpHandler):
+    """One simulated CDN edge node."""
+
+    def __init__(
+        self,
+        profile: VendorProfile,
+        upstream: HttpHandler,
+        ledger: Optional[TrafficLedger] = None,
+        upstream_segment: str = CDN_ORIGIN,
+        config: Optional[VendorConfig] = None,
+        cache: Optional[CdnCache] = None,
+        size_hint_fn: Optional[Callable[[str], Optional[int]]] = None,
+        node_label: Optional[str] = None,
+    ) -> None:
+        self.profile = profile
+        self.upstream = upstream
+        self.ledger = ledger if ledger is not None else TrafficLedger()
+        self.upstream_segment = upstream_segment
+        self.config = config if config is not None else type(profile).default_config()
+        cache_enabled = self.config.cache_enabled and not self.config.bypass_cache
+        self.cache = cache if cache is not None else CdnCache(enabled=cache_enabled)
+        self.size_hint_fn = size_hint_fn
+        self.node_label = node_label if node_label is not None else profile.name
+
+    # -- pipeline -----------------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        try:
+            self.profile.limits.check(request)
+        except RequestRejectedError as rejected:
+            logger.debug(
+                "%s rejected %s %s: %s", self.node_label, request.method,
+                request.target, rejected,
+            )
+            return self._rejection(rejected)
+
+        spec = try_parse_range_header(request.headers.get("Range"))
+
+        cached = self.cache.get(request)
+        if cached is not None:
+            logger.debug("%s cache hit for %s", self.node_label, request.target)
+            window = ContentWindow.full(cached.body)
+            response = self._serve(request, spec, window, cached.headers)
+            # Shared caches report the entry's age (RFC 7234 §5.1); the
+            # deterministic clock makes it a stable "0" or the simulated
+            # elapsed seconds.
+            response.headers.set("Age", str(int(self.cache.clock.now)))
+            return response
+
+        ctx = VendorContext(config=self.config, resource_size_hint=self._size_hint(request))
+        result = self.profile.fetch(request, spec, ctx, self._exchange)
+
+        if result.passthrough is not None:
+            if result.cacheable_full:
+                self.cache.put(request, result.passthrough)
+            if result.passthrough.status >= 300:
+                return self._relay_error(result.passthrough)
+            return self._finalize(result.passthrough.copy())
+
+        window = result.window
+        source_headers = result.source_headers if result.source_headers else Headers()
+        if result.cacheable_full and window.is_full:
+            self.cache.put(request, self._cache_entry(window, source_headers))
+        return self._serve(request, spec, window, source_headers)
+
+    # -- upstream exchange ----------------------------------------------------
+
+    def _exchange(
+        self,
+        upstream_request: HttpRequest,
+        payload_cap: Optional[int] = None,
+        note: str = "",
+    ) -> HttpResponse:
+        """Send one request upstream over a fresh connection.
+
+        ``payload_cap`` models this node cutting the connection after
+        roughly that many response *payload* bytes have arrived (Azure's
+        8 MB cut): the ledger records both the full size the upstream
+        pushed and the capped delivery, and the returned response carries
+        only the delivered body prefix.
+        """
+        logger.debug(
+            "%s -> upstream %s %s (Range: %s)%s",
+            self.node_label,
+            upstream_request.method,
+            upstream_request.target,
+            upstream_request.headers.get("Range", "-"),
+            f" [{note}]" if note else "",
+        )
+        connection = self.ledger.open_connection(
+            self.upstream_segment, client_label=self.node_label, server_label="upstream"
+        )
+        response = self.upstream.handle(upstream_request)
+        deliver_cap = None
+        if payload_cap is not None:
+            deliver_cap = response.header_block_size() + max(0, payload_cap)
+        record = connection.exchange(
+            upstream_request, response, deliver_cap=deliver_cap, note=note
+        )
+        if record.truncated:
+            received = response.copy()
+            received.body = response.body.slice(
+                0, max(0, record.response_bytes_delivered - response.header_block_size())
+            )
+            return received
+        return response
+
+    def _size_hint(self, request: HttpRequest) -> Optional[int]:
+        if self.size_hint_fn is None:
+            return None
+        return self.size_hint_fn(request.path)
+
+    # -- response construction ---------------------------------------------------
+
+    def _serve(
+        self,
+        request: HttpRequest,
+        spec: Optional[RangeSpecifier],
+        window: ContentWindow,
+        source_headers: Headers,
+    ) -> HttpResponse:
+        content_type = source_headers.get("Content-Type", "application/octet-stream")
+
+        if spec is None:
+            if not window.is_full:
+                return self._gateway_error("partial window but no Range request")
+            return self._finalize(
+                self._base_response(
+                    StatusCode.OK,
+                    content_type,
+                    body=window.body,
+                    source_headers=source_headers,
+                )
+            )
+
+        try:
+            resolved = spec.resolve(window.complete_length)
+            parts = apply_reply_behavior(
+                self.profile.reply_behavior,
+                resolved,
+                window.complete_length,
+                max_parts=self.profile.reply_max_parts,
+            )
+        except RangeNotSatisfiableError:
+            return self._not_satisfiable(window.complete_length)
+
+        if any(not window.covers(part) for part in parts):
+            return self._gateway_error("fetched window does not cover the requested range")
+
+        if len(parts) == 1:
+            part = parts[0]
+            response = self._base_response(
+                StatusCode.PARTIAL_CONTENT,
+                content_type,
+                body=window.slice_range(part),
+                source_headers=source_headers,
+            )
+            response.headers.add(
+                "Content-Range",
+                format_content_range(part.start, part.end, window.complete_length),
+            )
+            return self._finalize(response)
+
+        return self._finalize(
+            self._multipart_response(window, parts, content_type, source_headers)
+        )
+
+    def _multipart_response(
+        self,
+        window: ContentWindow,
+        parts: List[ResolvedRange],
+        content_type: str,
+        source_headers: Headers,
+    ) -> HttpResponse:
+        multipart = MultipartByteranges(
+            [
+                MultipartPart(
+                    content_type=content_type,
+                    content_range=part,
+                    complete_length=window.complete_length,
+                    payload=window.slice_range(part),
+                )
+                for part in parts
+            ],
+            boundary=self.profile.multipart_boundary,
+        )
+        body = multipart.to_body()
+        response = self._base_response(
+            StatusCode.PARTIAL_CONTENT,
+            multipart.content_type_header,
+            body=body,
+            source_headers=source_headers,
+        )
+        return response
+
+    def _base_response(
+        self,
+        status: StatusCode,
+        content_type: str,
+        body,
+        source_headers: Headers,
+    ) -> HttpResponse:
+        headers = Headers([("Date", _FIXED_DATE)])
+        for relayed in ("Last-Modified", "ETag", "Cache-Control"):
+            value = source_headers.get(relayed)
+            if value is not None:
+                headers.add(relayed, value)
+        headers.add("Content-Type", content_type)
+        headers.add("Content-Length", str(len(body)))
+        return HttpResponse(status, headers=headers, body=body)
+
+    def _cache_entry(self, window: ContentWindow, source_headers: Headers) -> HttpResponse:
+        return self._base_response(
+            StatusCode.OK,
+            source_headers.get("Content-Type", "application/octet-stream"),
+            body=window.body,
+            source_headers=source_headers,
+        )
+
+    def _finalize(self, response: HttpResponse) -> HttpResponse:
+        """Stamp vendor identity headers and pad to the calibrated weight."""
+        headers = response.headers
+        headers.set("Server", self.profile.server_header)
+        if "Date" not in headers:
+            headers.add("Date", _FIXED_DATE)
+        if "Accept-Ranges" not in headers:
+            headers.add("Accept-Ranges", "bytes")
+        for name, value in self.profile.response_headers():
+            if name not in headers:
+                headers.add(name, value)
+        self.profile.pad_response(response)
+        return response
+
+    def _relay_error(self, upstream_response: HttpResponse) -> HttpResponse:
+        response = upstream_response.copy()
+        response.headers.set("Server", self.profile.server_header)
+        return response
+
+    def _not_satisfiable(self, complete_length: int) -> HttpResponse:
+        headers = Headers(
+            [
+                ("Date", _FIXED_DATE),
+                ("Server", self.profile.server_header),
+                ("Content-Range", format_unsatisfied_content_range(complete_length)),
+                ("Content-Length", "0"),
+            ]
+        )
+        return HttpResponse(StatusCode.RANGE_NOT_SATISFIABLE, headers=headers)
+
+    def _rejection(self, rejected: RequestRejectedError) -> HttpResponse:
+        body = f"{rejected}\n"
+        headers = Headers(
+            [
+                ("Date", _FIXED_DATE),
+                ("Server", self.profile.server_header),
+                ("Content-Type", "text/plain"),
+                ("Content-Length", str(len(body))),
+            ]
+        )
+        return HttpResponse(rejected.status_code, headers=headers, body=body)
+
+    def _gateway_error(self, message: str) -> HttpResponse:
+        body = f"{message}\n"
+        headers = Headers(
+            [
+                ("Date", _FIXED_DATE),
+                ("Server", self.profile.server_header),
+                ("Content-Type", "text/plain"),
+                ("Content-Length", str(len(body))),
+            ]
+        )
+        return HttpResponse(StatusCode.BAD_GATEWAY, headers=headers, body=body)
+
+    def __repr__(self) -> str:
+        return f"CdnNode({self.profile.name}, upstream_segment={self.upstream_segment!r})"

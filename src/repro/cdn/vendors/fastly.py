@@ -1,0 +1,52 @@
+"""Fastly profile.
+
+Paper findings reproduced here:
+
+* Table I — *Deletion* for ``bytes=first-last`` and ``bytes=-suffix``.
+* Fastly is in neither Table II nor Table III: it does not forward
+  multi-range requests verbatim (modeled as Deletion for them too) and
+  coalesces multi-range replies, so it is neither an OBR front-end nor
+  back-end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cdn.policy import ForwardDecision
+from repro.cdn.vendors.base import VendorContext, VendorProfile
+from repro.http.message import HttpRequest
+from repro.http.ranges import RangeSpecifier
+
+
+class FastlyProfile(VendorProfile):
+    name = "fastly"
+    display_name = "Fastly"
+    server_header = "Varnish"
+    client_header_block_target = 815
+    pad_header_name = "X-Timer"
+
+    def forward_decision(
+        self,
+        request: HttpRequest,
+        spec: Optional[RangeSpecifier],
+        ctx: VendorContext,
+    ) -> ForwardDecision:
+        if spec is None:
+            return ForwardDecision.lazy(request.range_header)
+        return ForwardDecision.delete()
+
+    def forward_headers(self) -> List[Tuple[str, str]]:
+        return [
+            ("Fastly-Client-IP", "198.51.100.7"),
+            ("X-Varnish", "3241151398"),
+        ]
+
+    def response_headers(self) -> List[Tuple[str, str]]:
+        return [
+            ("Connection", "keep-alive"),
+            ("X-Served-By", "cache-fra19128-FRA"),
+            ("X-Cache", "MISS"),
+            ("X-Cache-Hits", "0"),
+            ("Via", "1.1 varnish"),
+        ]

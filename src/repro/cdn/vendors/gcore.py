@@ -1,0 +1,48 @@
+"""G-Core Labs profile.
+
+Paper findings reproduced here:
+
+* Table I — *Deletion* for ``bytes=first-last`` and ``bytes=-suffix``.
+* Fig 6a — G-Core inserts the fewest response headers of the 13 CDNs,
+  giving it the steepest SBR amplification slope (1 MB factor ≈ 1763,
+  25 MB factor ≈ 43330 — the paper's headline number).
+* §VII — G-Core's eventual fix was enabling their "slice" option by
+  default, i.e. switching to the *Laziness* policy
+  (see :mod:`repro.defense.mitigations`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cdn.policy import ForwardDecision
+from repro.cdn.vendors.base import VendorContext, VendorProfile
+from repro.http.message import HttpRequest
+from repro.http.ranges import RangeSpecifier
+
+
+class GcoreProfile(VendorProfile):
+    name = "gcore"
+    display_name = "G-Core Labs"
+    server_header = "nginx"
+    client_header_block_target = 594
+    pad_header_name = "X-ID"
+
+    def forward_decision(
+        self,
+        request: HttpRequest,
+        spec: Optional[RangeSpecifier],
+        ctx: VendorContext,
+    ) -> ForwardDecision:
+        if spec is None:
+            return ForwardDecision.lazy(request.range_header)
+        return ForwardDecision.delete()
+
+    def forward_headers(self) -> List[Tuple[str, str]]:
+        return [("X-Forwarded-For", "198.51.100.7")]
+
+    def response_headers(self) -> List[Tuple[str, str]]:
+        return [
+            ("Connection", "keep-alive"),
+            ("Cache", "MISS"),
+        ]

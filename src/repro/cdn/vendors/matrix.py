@@ -1,0 +1,149 @@
+"""The vendor behavior matrix: every profile's policy per Range shape.
+
+A compact, directly-computed view of what Tables I and II encode —
+useful for documentation, for quick lookups, and as a cross-check: the
+test suite verifies that this matrix (derived by interrogating
+``forward_decision`` directly) agrees with the feasibility experiment
+(derived by observing traffic through a full deployment).  Two
+independent measurement paths reaching the same table is the same
+validation the paper gets from re-running its probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cdn.policy import ForwardPolicy
+from repro.cdn.vendors import all_vendor_names, create_profile
+from repro.cdn.vendors.base import VendorConfig, VendorContext
+from repro.http.message import HttpRequest
+from repro.http.ranges import try_parse_range_header
+
+MB = 1 << 20
+
+#: Probe cases: shape label -> (Range value, resource size hint).
+#: Size-dependent vendors (Azure, Huawei) get both regimes.
+PROBE_CASES: Dict[str, Tuple[str, int]] = {
+    "first-last (small file)": ("bytes=0-0", 1 * MB),
+    "first-last (large file)": ("bytes=0-0", 25 * MB),
+    "first- (open)": ("bytes=5-", 1 * MB),
+    "-suffix (small file)": ("bytes=-1", 1 * MB),
+    "-suffix (large file)": ("bytes=-1", 25 * MB),
+    "multi closed disjoint": ("bytes=0-0,100-200", 1 * MB),
+    "multi open overlapping": ("bytes=0-,0-,0-", 1 * MB),
+    "suffix then open": ("bytes=-1024,0-,0-", 1 * MB),
+    "one then open": ("bytes=1-,0-,0-", 1 * MB),
+}
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One vendor's decision for one probe shape."""
+
+    policy: ForwardPolicy
+    forwarded_range: Optional[str]
+
+    @property
+    def amplifying(self) -> bool:
+        return self.policy in (ForwardPolicy.DELETION, ForwardPolicy.EXPANSION)
+
+
+def behavior_matrix(
+    config_overrides: Optional[Dict[str, VendorConfig]] = None,
+) -> Dict[str, Dict[str, MatrixCell]]:
+    """Compute the full vendor x shape decision matrix.
+
+    ``config_overrides`` swaps in non-default configs per vendor (e.g.
+    Cloudflare under Bypass) — each probe otherwise uses the vendor's
+    default configuration, as the paper's experiments did.
+
+    Stateful vendors are probed on a *fresh* profile per cell, so KeyCDN
+    shows its first-sighting behavior; its second-sighting Deletion is a
+    separate, stateful fact the matrix annotates via
+    :func:`stateful_second_request_policies`.
+    """
+    overrides = config_overrides or {}
+    matrix: Dict[str, Dict[str, MatrixCell]] = {}
+    for vendor in all_vendor_names():
+        row: Dict[str, MatrixCell] = {}
+        for shape, (range_value, size) in PROBE_CASES.items():
+            profile = create_profile(vendor)
+            config = overrides.get(vendor, type(profile).default_config())
+            decision = profile.forward_decision(
+                _request(range_value),
+                try_parse_range_header(range_value),
+                VendorContext(config=config, resource_size_hint=size),
+            )
+            row[shape] = MatrixCell(
+                policy=decision.policy, forwarded_range=decision.forwarded_range
+            )
+        matrix[vendor] = row
+    return matrix
+
+
+def stateful_second_request_policies() -> Dict[str, ForwardPolicy]:
+    """Second-identical-request policy per vendor (KeyCDN's quirk)."""
+    results: Dict[str, ForwardPolicy] = {}
+    for vendor in all_vendor_names():
+        profile = create_profile(vendor)
+        ctx = VendorContext(config=type(profile).default_config(), resource_size_hint=MB)
+        request = _request("bytes=0-0")
+        spec = try_parse_range_header("bytes=0-0")
+        profile.forward_decision(request, spec, ctx)
+        results[vendor] = profile.forward_decision(request, spec, ctx).policy
+    return results
+
+
+def sbr_vulnerable_vendors() -> Tuple[str, ...]:
+    """Vendors with at least one amplifying single-range shape — the
+    matrix-derived Table I membership (KeyCDN qualifies via its stateful
+    second-request Deletion)."""
+    matrix = behavior_matrix()
+    single_shapes = [
+        "first-last (small file)",
+        "first-last (large file)",
+        "first- (open)",
+        "-suffix (small file)",
+        "-suffix (large file)",
+    ]
+    second = stateful_second_request_policies()
+    vulnerable = []
+    for vendor, row in matrix.items():
+        if any(row[s].amplifying for s in single_shapes):
+            vulnerable.append(vendor)
+        elif second[vendor] is ForwardPolicy.DELETION:
+            vulnerable.append(vendor)
+        elif create_profile(vendor).amplifies_via_fetch_flow:
+            # StackPath: laziness in the table, amplification in the
+            # fetch flow (refetch-without-Range after a 206).
+            vulnerable.append(vendor)
+    return tuple(sorted(vulnerable))
+
+
+def obr_frontend_vendors(include_bypass: bool = True) -> Tuple[str, ...]:
+    """Vendors that forward some overlapping multi-range shape unchanged
+    — the matrix-derived Table II membership."""
+    multi_shapes = ["multi open overlapping", "suffix then open", "one then open"]
+    frontends = set()
+    matrix = behavior_matrix()
+    for vendor, row in matrix.items():
+        if any(row[s].policy is ForwardPolicy.LAZINESS for s in multi_shapes):
+            frontends.add(vendor)
+    if include_bypass:
+        bypassed = behavior_matrix(
+            config_overrides={
+                vendor: VendorConfig(bypass_cache=True)
+                for vendor in all_vendor_names()
+            }
+        )
+        for vendor, row in bypassed.items():
+            if any(row[s].policy is ForwardPolicy.LAZINESS for s in multi_shapes):
+                frontends.add(vendor)
+    return tuple(sorted(frontends))
+
+
+def _request(range_value: str) -> HttpRequest:
+    return HttpRequest(
+        "GET", "/probe.bin", headers=[("Host", "victim.example"), ("Range", range_value)]
+    )

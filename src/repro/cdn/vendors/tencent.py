@@ -1,0 +1,56 @@
+"""Tencent Cloud profile.
+
+Paper findings reproduced here (Table I):
+
+* *Deletion* for ``bytes=first-last``, conditional (*) on the customer's
+  *Range* origin option being **disable** (the default the paper
+  measured with; *enable* makes Tencent lazy and not vulnerable).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cdn.policy import ForwardDecision
+from repro.cdn.vendors.base import SpecShape, VendorConfig, VendorContext, VendorProfile, classify_spec
+from repro.http.message import HttpRequest
+from repro.http.ranges import RangeSpecifier
+
+
+class TencentProfile(VendorProfile):
+    name = "tencent"
+    display_name = "Tencent Cloud"
+    server_header = "NWS_SPMid"
+    client_header_block_target = 801
+    pad_header_name = "X-NWS-LOG-UUID"
+
+    @classmethod
+    def default_config(cls) -> VendorConfig:
+        # The Range origin option defaults to "disable" — vulnerable.
+        return VendorConfig(origin_range_option=False)
+
+    def forward_decision(
+        self,
+        request: HttpRequest,
+        spec: Optional[RangeSpecifier],
+        ctx: VendorContext,
+    ) -> ForwardDecision:
+        if spec is None:
+            return ForwardDecision.lazy(request.range_header)
+        range_option_disabled = ctx.config.origin_range_option is not True
+        shape = classify_spec(spec)
+        if shape is SpecShape.SINGLE_CLOSED and range_option_disabled:
+            return ForwardDecision.delete()
+        if shape is SpecShape.MULTI:
+            return ForwardDecision.delete()
+        return ForwardDecision.lazy(request.range_header)
+
+    def forward_headers(self) -> List[Tuple[str, str]]:
+        return [("X-Forwarded-For", "198.51.100.7")]
+
+    def response_headers(self) -> List[Tuple[str, str]]:
+        return [
+            ("Connection", "keep-alive"),
+            ("X-Cache-Lookup", "Cache Miss"),
+            ("X-Daa-Tunnel", "hop_count=1"),
+        ]

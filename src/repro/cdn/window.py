@@ -1,0 +1,56 @@
+"""The content window a CDN node holds after fetching from upstream.
+
+Under *Deletion* the node holds the full representation; under
+*Expansion* it holds a byte window of it.  Either way the node answers
+the client's ranges out of this window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.http.body import Body
+from repro.http.ranges import ResolvedRange
+
+
+@dataclass(frozen=True)
+class ContentWindow:
+    """Bytes ``[offset, offset + len(body))`` of a representation whose
+    total size is ``complete_length``."""
+
+    body: Body
+    offset: int
+    complete_length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"window offset must be >= 0, got {self.offset}")
+        if self.offset + len(self.body) > self.complete_length:
+            raise ValueError(
+                f"window [{self.offset}, {self.offset + len(self.body)}) exceeds "
+                f"representation length {self.complete_length}"
+            )
+
+    @classmethod
+    def full(cls, body: Body) -> "ContentWindow":
+        """A window covering the whole representation."""
+        return cls(body=body, offset=0, complete_length=len(body))
+
+    @property
+    def is_full(self) -> bool:
+        return self.offset == 0 and len(self.body) == self.complete_length
+
+    @property
+    def end(self) -> int:
+        """One past the last byte position this window holds."""
+        return self.offset + len(self.body)
+
+    def covers(self, r: ResolvedRange) -> bool:
+        """True when the window contains every byte of ``r``."""
+        return self.offset <= r.start and r.end < self.end
+
+    def slice_range(self, r: ResolvedRange) -> Body:
+        """Extract ``r`` from the window (which must cover it)."""
+        if not self.covers(r):
+            raise ValueError(f"window [{self.offset}, {self.end}) does not cover {r}")
+        return self.body.slice(r.start - self.offset, r.end + 1 - self.offset)

@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's experiments:
+
+* ``vendors`` — list the 13 modeled CDNs;
+* ``sbr`` — run the SBR attack against one vendor (Table IV cell);
+* ``obr`` — run the OBR attack through one cascade (Table V row);
+* ``survey`` — regenerate the feasibility tables (Tables I–III);
+* ``flood`` — the bandwidth experiment for one m (Fig 7 row);
+* ``economics`` — project a campaign's victim cost (§V-E).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cdn.vendors import all_vendor_names, profile_class
+from repro.core.economics import estimate_obr_campaign, estimate_sbr_campaign
+from repro.core.feasibility import survey
+from repro.core.obr import ObrAttack, vulnerable_combinations
+from repro.core.practical import BandwidthAttackSimulation
+from repro.core.sbr import SbrAttack, exploited_range_cases
+from repro.errors import ReproError
+from repro.reporting.render import format_bytes, render_sparkline, render_table
+from repro.reporting.tables import table1_rows, table2_rows, table3_rows
+
+MB = 1 << 20
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RangeAmp attack simulator (DSN 2020 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("vendors", help="list the modeled CDN vendors")
+
+    sbr = commands.add_parser("sbr", help="run the Small Byte Range attack")
+    sbr.add_argument("vendor", choices=all_vendor_names())
+    sbr.add_argument("--size-mb", type=int, default=10, help="resource size in MB")
+    sbr.add_argument("--rounds", type=int, default=1, help="attack rounds to send")
+
+    obr = commands.add_parser("obr", help="run the Overlapping Byte Ranges attack")
+    obr.add_argument("fcdn", choices=all_vendor_names())
+    obr.add_argument("bcdn", choices=all_vendor_names())
+    obr.add_argument(
+        "--overlaps", type=int, default=None,
+        help="overlap count n (default: search the maximum)",
+    )
+
+    commands.add_parser(
+        "survey", help="probe every vendor and print Tables I-III"
+    )
+
+    flood = commands.add_parser("flood", help="bandwidth experiment (Fig 7)")
+    flood.add_argument("--m", type=int, default=12, help="attack requests per second")
+    flood.add_argument("--vendor", default="cloudflare", choices=all_vendor_names())
+    flood.add_argument("--uplink-mbps", type=float, default=1000.0)
+
+    economics = commands.add_parser(
+        "economics", help="project a campaign's victim cost"
+    )
+    economics.add_argument("attack", choices=["sbr", "obr"])
+    economics.add_argument("vendor", help="vendor, or fcdn:bcdn for obr")
+    economics.add_argument("--size-mb", type=int, default=10)
+    economics.add_argument("--rps", type=float, default=10.0)
+    economics.add_argument("--hours", type=float, default=1.0)
+
+    scenario = commands.add_parser(
+        "scenario", help="run a JSON scenario file of experiments"
+    )
+    scenario.add_argument("path", help="path to the scenario JSON")
+
+    commands.add_parser(
+        "matrix", help="print the vendor x Range-shape policy matrix"
+    )
+
+    report = commands.add_parser(
+        "report", help="regenerate every table/figure into a directory"
+    )
+    report.add_argument("output_dir", nargs="?", default="report")
+    report.add_argument("--quick", action="store_true", help="trim the sweeps")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_vendors() -> int:
+    rows = [
+        [name, profile_class(name).display_name, profile_class(name).server_header]
+        for name in all_vendor_names()
+    ]
+    print(render_table(["name", "display name", "Server header"], rows))
+    return 0
+
+
+def _cmd_sbr(args: argparse.Namespace) -> int:
+    size = args.size_mb * MB
+    result = SbrAttack(args.vendor, resource_size=size).run(rounds=args.rounds)
+    cases = " & ".join(exploited_range_cases(args.vendor, size))
+    print(f"SBR against {args.vendor} ({args.size_mb} MB resource, "
+          f"{args.rounds} round(s), case: {cases})")
+    print(f"  attacker received: {format_bytes(result.client_traffic)}")
+    print(f"  origin pushed:     {format_bytes(result.origin_traffic)}")
+    print(f"  amplification:     {result.amplification:.1f}x")
+    return 0
+
+
+def _cmd_obr(args: argparse.Namespace) -> int:
+    attack = ObrAttack(args.fcdn, args.bcdn)
+    result = attack.run(overlap_count=args.overlaps)
+    print(f"OBR through {args.fcdn} -> {args.bcdn} (1 KB resource)")
+    print(f"  overlap count n:   {result.overlap_count}")
+    print(f"  origin -> BCDN:    {format_bytes(result.bcdn_origin_traffic)}")
+    print(f"  BCDN -> FCDN:      {format_bytes(result.fcdn_bcdn_traffic)}")
+    print(f"  attacker received: {format_bytes(result.client_traffic)} (aborted)")
+    print(f"  amplification:     {result.amplification:.1f}x")
+    return 0
+
+
+def _cmd_survey() -> int:
+    feasibility = survey(file_size=16 * 1024)
+    print("Table I - SBR-vulnerable forwarding:")
+    print(
+        render_table(
+            ["CDN", "vulnerable", "formats"],
+            [
+                [
+                    row.display_name,
+                    "yes" if row.vulnerable else "no",
+                    "; ".join(f"{f} ({p})" for f, p in row.vulnerable_formats),
+                ]
+                for row in table1_rows(feasibility=feasibility)
+            ],
+        )
+    )
+    print("\nTable II - OBR front-ends:")
+    print(
+        render_table(
+            ["CDN", "lazy multi-range formats"],
+            [
+                [row.display_name, "; ".join(row.lazy_formats)]
+                for row in table2_rows(feasibility=feasibility)
+            ],
+        )
+    )
+    print("\nTable III - OBR back-ends:")
+    print(
+        render_table(
+            ["CDN", "reply"],
+            [
+                [
+                    row.display_name,
+                    "n-part (overlapping)"
+                    + (f", n <= {row.part_limit}" if row.part_limit else ""),
+                ]
+                for row in table3_rows(feasibility=feasibility)
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_flood(args: argparse.Namespace) -> int:
+    simulation = BandwidthAttackSimulation(
+        vendor=args.vendor, origin_uplink_mbps=args.uplink_mbps
+    )
+    result = simulation.run(args.m)
+    print(f"m={args.m} SBR req/s for 30s via {args.vendor} "
+          f"({args.uplink_mbps:.0f} Mbps origin uplink)")
+    print(f"  steady origin egress: {result.steady_origin_mbps:.1f} Mbps"
+          + ("  [SATURATED]" if result.saturated else ""))
+    print(f"  peak client ingress:  {result.peak_client_kbps:.1f} Kbps")
+    print(f"  origin Mbps/s:        {render_sparkline(result.origin_mbps, width=40)}")
+    return 0
+
+
+def _cmd_economics(args: argparse.Namespace) -> int:
+    duration = args.hours * 3600.0
+    if args.attack == "sbr":
+        if args.vendor not in all_vendor_names():
+            print(f"unknown vendor {args.vendor!r}", file=sys.stderr)
+            return 2
+        campaign = estimate_sbr_campaign(
+            args.vendor,
+            resource_size=args.size_mb * MB,
+            requests_per_second=args.rps,
+            duration_seconds=duration,
+        )
+    else:
+        fcdn, _, bcdn = args.vendor.partition(":")
+        if (fcdn, bcdn) not in vulnerable_combinations():
+            print(
+                f"{args.vendor!r} is not a vulnerable fcdn:bcdn pair "
+                f"(try e.g. cloudflare:akamai)",
+                file=sys.stderr,
+            )
+            return 2
+        campaign = estimate_obr_campaign(
+            fcdn, bcdn, requests_per_second=args.rps, duration_seconds=duration
+        )
+    print(f"{campaign.attack.upper()} campaign vs {campaign.vendor}: "
+          f"{args.rps:g} req/s for {args.hours:g} h")
+    print(f"  victim traffic:   {format_bytes(campaign.victim_bytes)} "
+          f"({campaign.victim_bandwidth_mbps:.1f} Mbps sustained)")
+    print(f"  attacker traffic: {format_bytes(campaign.attacker_bytes)} "
+          f"({campaign.attacker_bandwidth_mbps:.3f} Mbps)")
+    print(f"  victim bill:      ${campaign.victim_cost_usd:,.2f} "
+          f"at ${campaign.rate_usd_per_gb}/GB")
+    return 0
+
+
+def _cmd_matrix() -> int:
+    from repro.cdn.vendors.matrix import PROBE_CASES, behavior_matrix
+
+    matrix = behavior_matrix()
+    shapes = list(PROBE_CASES)
+    short = {  # compact policy labels for the terminal
+        "laziness": "lazy",
+        "deletion": "DEL",
+        "expansion": "EXP",
+    }
+    rows = [
+        [vendor] + [short[matrix[vendor][shape].policy.value] for shape in shapes]
+        for vendor in sorted(matrix)
+    ]
+    print(render_table(["vendor"] + shapes, rows))
+    print("\nDEL/EXP single-range cells are the SBR surface (Table I); "
+          "lazy multi-range cells are the OBR front-end surface (Table II).")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting.summary import generate_full_report
+
+    written = generate_full_report(args.output_dir, quick=args.quick)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import load_scenario, run_scenario
+
+    outcome = run_scenario(load_scenario(args.path))
+    print(json.dumps(outcome.to_dict(), indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "vendors":
+            return _cmd_vendors()
+        if args.command == "sbr":
+            return _cmd_sbr(args)
+        if args.command == "obr":
+            return _cmd_obr(args)
+        if args.command == "survey":
+            return _cmd_survey()
+        if args.command == "flood":
+            return _cmd_flood(args)
+        if args.command == "economics":
+            return _cmd_economics(args)
+        if args.command == "scenario":
+            return _cmd_scenario(args)
+        if args.command == "matrix":
+            return _cmd_matrix()
+        if args.command == "report":
+            return _cmd_report(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Benign range-request clients.
+
+The paper's introduction motivates range requests with multi-thread file
+downloading and resuming from break-point; this package implements both
+on top of the simulator's public API, so the benign workloads that make
+the Range mechanism worth having can be exercised (and regression-tested)
+alongside the attacks.
+"""
+
+from repro.clienttools.downloader import DownloadReport, ResumingDownload, SegmentedDownloader
+
+__all__ = ["DownloadReport", "ResumingDownload", "SegmentedDownloader"]

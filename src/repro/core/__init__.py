@@ -1,0 +1,50 @@
+"""The paper's primary contribution: RangeAmp attack construction,
+execution, and measurement.
+
+* :mod:`repro.core.deployment` — wires client → CDN chain → origin with
+  traffic taps on every segment.
+* :mod:`repro.core.cachebusting` — query-string cache busting (§II-A).
+* :mod:`repro.core.amplification` — amplification-factor accounting.
+* :mod:`repro.core.sbr` — the Small Byte Range attack (§IV-B), including
+  each vendor's exploited range case from Table IV.
+* :mod:`repro.core.obr` — the Overlapping Byte Ranges attack (§IV-C),
+  including the max-n search against header limits (Table V).
+* :mod:`repro.core.feasibility` — the paper's first experiment: probe a
+  CDN with ABNF-generated range requests and classify its policies
+  (Tables I–III).
+* :mod:`repro.core.practical` — the paper's fourth experiment: sustained
+  SBR floods against a bandwidth-limited origin (Fig 7).
+"""
+
+from repro.core.amplification import AmplificationReport
+from repro.core.cachebusting import CacheBuster
+from repro.core.deployment import CdnSpec, Client, Deployment, RecordingHandler
+from repro.core.feasibility import (
+    FeasibilityProbe,
+    ForwardingObservation,
+    ReplyObservation,
+    VendorFeasibility,
+)
+from repro.core.obr import ObrAttack, ObrResult
+from repro.core.practical import BandwidthAttackSimulation, BandwidthRunResult
+from repro.core.sbr import SbrAttack, SbrResult, exploited_range_cases
+
+__all__ = [
+    "AmplificationReport",
+    "BandwidthAttackSimulation",
+    "BandwidthRunResult",
+    "CacheBuster",
+    "CdnSpec",
+    "Client",
+    "Deployment",
+    "FeasibilityProbe",
+    "ForwardingObservation",
+    "ObrAttack",
+    "ObrResult",
+    "RecordingHandler",
+    "ReplyObservation",
+    "SbrAttack",
+    "SbrResult",
+    "VendorFeasibility",
+    "exploited_range_cases",
+]

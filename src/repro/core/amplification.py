@@ -1,0 +1,73 @@
+"""Amplification-factor accounting.
+
+The paper's metric is the ratio of response traffic on the victim-side
+segment to response traffic on the attacker-side segment:
+
+* SBR — ``cdn-origin`` response bytes ÷ ``client-cdn`` response bytes
+  (the origin's outgoing bandwidth is the victim);
+* OBR — ``fcdn-bcdn`` response bytes ÷ ``bcdn-origin`` response bytes
+  (the inter-CDN link is the victim; the origin-side traffic is the
+  attack's only "cost" at the back end).
+
+Delivered bytes are used throughout: a connection the receiver cut
+early (Azure's 8 MB abort, the OBR client abort) only moved what was
+delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.netsim.tap import SegmentStats, TrafficLedger
+
+
+@dataclass(frozen=True)
+class AmplificationReport:
+    """Traffic and amplification for one attack run."""
+
+    #: Response traffic on the segment the attacker pays for (bytes).
+    attacker_bytes: int
+    #: Response traffic on the victim segment (bytes).
+    victim_bytes: int
+    #: Name of the segment ``attacker_bytes`` was measured on.
+    attacker_segment: str
+    #: Name of the segment ``victim_bytes`` was measured on.
+    victim_segment: str
+    #: Full per-segment statistics for the run.
+    segments: Mapping[str, SegmentStats]
+
+    @property
+    def factor(self) -> float:
+        """Victim-to-attacker response traffic ratio (0 when nothing was
+        received attacker-side, mirroring a division guard, not RFC
+        semantics)."""
+        if self.attacker_bytes <= 0:
+            return 0.0
+        return self.victim_bytes / self.attacker_bytes
+
+    @classmethod
+    def from_ledger(
+        cls,
+        ledger: TrafficLedger,
+        victim_segment: str,
+        attacker_segment: str,
+    ) -> "AmplificationReport":
+        segments: Dict[str, SegmentStats] = ledger.all_stats()
+        attacker = segments.get(attacker_segment)
+        victim = segments.get(victim_segment)
+        return cls(
+            attacker_bytes=attacker.response_bytes_delivered if attacker else 0,
+            victim_bytes=victim.response_bytes_delivered if victim else 0,
+            attacker_segment=attacker_segment,
+            victim_segment=victim_segment,
+            segments=segments,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.victim_segment}: {self.victim_bytes} B vs "
+            f"{self.attacker_segment}: {self.attacker_bytes} B "
+            f"-> amplification {self.factor:.2f}x"
+        )

@@ -1,0 +1,39 @@
+"""Query-string cache busting.
+
+CDN caches are keyed on the full URL, so appending a never-repeating
+query string forces a cache miss — and therefore a back-to-origin fetch —
+on every request (paper §II-A, citing prior work).  The SBR attack needs
+exactly this: amplification only happens when the CDN goes back to the
+origin.
+"""
+
+from __future__ import annotations
+
+
+class CacheBuster:
+    """Generates cache-busting variants of a target URL.
+
+    >>> buster = CacheBuster()
+    >>> buster.bust("/10MB.bin")
+    '/10MB.bin?cb=0'
+    >>> buster.bust("/10MB.bin?v=2")
+    '/10MB.bin?v=2&cb=1'
+    """
+
+    def __init__(self, parameter: str = "cb") -> None:
+        if not parameter or "=" in parameter or "&" in parameter:
+            raise ValueError(f"invalid cache-busting parameter {parameter!r}")
+        self.parameter = parameter
+        self._counter = 0
+
+    def bust(self, target: str) -> str:
+        """Return ``target`` with a fresh cache-busting query parameter."""
+        separator = "&" if "?" in target else "?"
+        busted = f"{target}{separator}{self.parameter}={self._counter}"
+        self._counter += 1
+        return busted
+
+    @property
+    def issued(self) -> int:
+        """How many busted URLs have been handed out so far."""
+        return self._counter

@@ -1,0 +1,146 @@
+"""Attack campaigns against multi-node edges, with detection in the loop.
+
+Ties three pieces together the way a real incident would see them:
+
+* an :class:`~repro.cdn.cluster.EdgeCluster` standing in for the CDN's
+  geographically scattered ingress nodes;
+* a stream of SBR rounds, optionally spread across nodes and across
+  attacker source addresses;
+* a :class:`~repro.defense.detection.RangeAmpDetector` watching the
+  origin-side request stream.
+
+The paper's two observations both fall out: spreading requests across
+ingress nodes multiplies the pressure no single node's cache can absorb
+(§V-D), and origin-side detection keyed on the client address is
+defeated by address rotation — "attack requests are no different from
+benign requests and come from widely distributed CDN nodes" (§VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cdn.cluster import ROTATE, EdgeCluster
+from repro.core.cachebusting import CacheBuster
+from repro.defense.detection import RangeAmpDetector
+from repro.http.headers import Headers
+from repro.http.message import HttpRequest
+from repro.netsim.tap import CDN_ORIGIN, TrafficLedger
+from repro.origin.server import OriginServer
+
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregate outcome of one campaign run."""
+
+    vendor: str
+    requests_sent: int
+    node_count: int
+    requests_per_node: Tuple[int, ...]
+    origin_traffic: int
+    client_traffic: int
+    #: Clients the detector flagged, by address.
+    flagged_clients: Tuple[str, ...]
+    #: Distinct source addresses the attacker used.
+    source_addresses: int
+
+    @property
+    def amplification(self) -> float:
+        if self.client_traffic <= 0:
+            return 0.0
+        return self.origin_traffic / self.client_traffic
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.flagged_clients)
+
+
+class SbrCampaign:
+    """A sustained SBR campaign against an edge cluster."""
+
+    def __init__(
+        self,
+        vendor: str,
+        resource_size: int = 10 * MB,
+        resource_path: str = "/target.bin",
+        node_count: int = 4,
+        selection: str = ROTATE,
+        detector: Optional[RangeAmpDetector] = None,
+        host: str = "victim.example",
+    ) -> None:
+        self.vendor = vendor
+        self.resource_size = resource_size
+        self.resource_path = resource_path
+        self.node_count = node_count
+        self.selection = selection
+        self.detector = detector
+        self.host = host
+
+    def run(
+        self,
+        requests: int = 40,
+        rotate_sources_every: Optional[int] = None,
+    ) -> CampaignResult:
+        """Send ``requests`` cache-busted SBR rounds through the cluster.
+
+        ``rotate_sources_every`` switches to a fresh source address after
+        that many requests — the address-rotation evasion against
+        per-client detection.  ``None`` keeps one address throughout.
+        """
+        if requests < 1:
+            raise ValueError(f"requests must be >= 1, got {requests}")
+        origin = OriginServer()
+        origin.add_synthetic_resource(self.resource_path, self.resource_size)
+        ledger = TrafficLedger()
+        cluster = EdgeCluster(
+            self.vendor,
+            upstream=origin,
+            node_count=self.node_count,
+            ledger=ledger,
+            selection=self.selection,
+            size_hint_fn=lambda path: self.resource_size,
+        )
+        buster = CacheBuster()
+        client_traffic = 0
+        sources: List[str] = []
+        for index in range(requests):
+            source = self._source_address(index, rotate_sources_every)
+            if source not in sources:
+                sources.append(source)
+            request = HttpRequest(
+                "GET",
+                buster.bust(self.resource_path),
+                headers=Headers([("Host", self.host), ("Range", "bytes=0-0")]),
+            )
+            if self.detector is not None:
+                self.detector.observe(source, request)
+            connection = ledger.open_connection("client-cdn", client_label=source)
+            response = cluster.handle(request)
+            record = connection.exchange(request, response, note=f"campaign:{source}")
+            client_traffic += record.response_bytes_delivered
+
+        flagged: Tuple[str, ...] = ()
+        if self.detector is not None:
+            flagged = tuple(
+                source for source in sources if self.detector.verdict(source).suspicious
+            )
+        return CampaignResult(
+            vendor=self.vendor,
+            requests_sent=requests,
+            node_count=cluster.node_count,
+            requests_per_node=tuple(cluster.served_per_node()),
+            origin_traffic=ledger.segment_stats(CDN_ORIGIN).response_bytes_delivered,
+            client_traffic=client_traffic,
+            flagged_clients=flagged,
+            source_addresses=len(sources),
+        )
+
+    @staticmethod
+    def _source_address(index: int, rotate_every: Optional[int]) -> str:
+        if rotate_every is None or rotate_every < 1:
+            return "203.0.113.66"
+        block = index // rotate_every
+        return f"203.0.113.{66 + block % 180}"

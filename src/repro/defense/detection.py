@@ -1,0 +1,129 @@
+"""RangeAmp traffic detection heuristics.
+
+The paper notes (§V-E) that RangeAmp reverses the usual DDoS signature:
+it exhausts the victim's *outgoing* bandwidth, and during the authors'
+experiments no CDN raised an alert under default settings.  This module
+implements the detection signals a CDN or origin could deploy:
+
+* a stream of **tiny-range requests** at cache-busted URLs of the same
+  base path (the SBR signature);
+* **multi-range requests with overlapping ranges** (the OBR signature);
+* a sustained **response-bytes-out to request-bytes-in ratio** far above
+  normal browsing.
+
+It is intentionally a heuristic: the paper's point — that attack
+requests are hard to distinguish from benign ones origin-side — shows up
+in the detector's documented false-positive surface (e.g. legitimate
+video players also issue many small ranges).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.http.message import HttpRequest
+from repro.http.ranges import ranges_overlap, try_parse_range_header
+
+#: A requested range at or below this many bytes counts as "tiny".
+TINY_RANGE_BYTES = 1024
+
+
+@dataclass(frozen=True)
+class DetectionVerdict:
+    """The detector's judgment for one client."""
+
+    client: str
+    suspicious: bool
+    reasons: tuple
+    tiny_range_requests: int
+    overlapping_multirange_requests: int
+    distinct_query_strings: int
+
+
+@dataclass
+class _ClientState:
+    requests: int = 0
+    tiny_ranges: int = 0
+    overlapping_multiranges: int = 0
+    queries_per_path: Dict[str, set] = field(default_factory=lambda: defaultdict(set))
+
+
+class RangeAmpDetector:
+    """Streaming per-client detector over observed requests.
+
+    Feed requests with :meth:`observe`; read judgments with
+    :meth:`verdict`.  Thresholds are constructor knobs so experiments can
+    sweep them.
+    """
+
+    def __init__(
+        self,
+        tiny_range_threshold: int = 10,
+        cache_bust_threshold: int = 10,
+        overlap_threshold: int = 1,
+        assumed_resource_size: int = 1 << 30,
+    ) -> None:
+        self.tiny_range_threshold = tiny_range_threshold
+        self.cache_bust_threshold = cache_bust_threshold
+        self.overlap_threshold = overlap_threshold
+        self.assumed_resource_size = assumed_resource_size
+        self._clients: Dict[str, _ClientState] = defaultdict(_ClientState)
+
+    def observe(self, client: str, request: HttpRequest) -> None:
+        """Record one request attributed to ``client``."""
+        state = self._clients[client]
+        state.requests += 1
+        state.queries_per_path[request.path].add(request.query)
+        spec = try_parse_range_header(request.headers.get("Range"))
+        if spec is None:
+            return
+        try:
+            resolved = spec.resolve(self.assumed_resource_size)
+        except Exception:
+            return
+        if sum(r.length for r in resolved) <= TINY_RANGE_BYTES:
+            state.tiny_ranges += 1
+        if spec.is_multi and ranges_overlap(resolved):
+            state.overlapping_multiranges += 1
+
+    def verdict(self, client: str) -> DetectionVerdict:
+        """Judge ``client`` on everything observed so far."""
+        state = self._clients.get(client, _ClientState())
+        reasons: List[str] = []
+        max_busting = max(
+            (len(queries) for queries in state.queries_per_path.values()), default=0
+        )
+        if (
+            state.tiny_ranges >= self.tiny_range_threshold
+            and max_busting >= self.cache_bust_threshold
+        ):
+            reasons.append(
+                f"{state.tiny_ranges} tiny-range requests across "
+                f"{max_busting} distinct query strings of one path (SBR pattern)"
+            )
+        if state.overlapping_multiranges >= self.overlap_threshold:
+            reasons.append(
+                f"{state.overlapping_multiranges} overlapping multi-range "
+                f"requests (OBR pattern)"
+            )
+        return DetectionVerdict(
+            client=client,
+            suspicious=bool(reasons),
+            reasons=tuple(reasons),
+            tiny_range_requests=state.tiny_ranges,
+            overlapping_multirange_requests=state.overlapping_multiranges,
+            distinct_query_strings=max_busting,
+        )
+
+    def suspicious_clients(self) -> List[str]:
+        """All clients currently judged suspicious."""
+        return [name for name in self._clients if self.verdict(name).suspicious]
+
+    def reset(self, client: Optional[str] = None) -> None:
+        """Forget one client's history, or everyone's."""
+        if client is None:
+            self._clients.clear()
+        else:
+            self._clients.pop(client, None)

@@ -1,0 +1,319 @@
+"""CDN-side mitigations (paper §VI-C).
+
+The paper recommends three implementation changes, each available here
+as a wrapper over any vendor profile:
+
+* :func:`with_laziness` — forward the Range header unchanged, giving up
+  range-driven caching entirely.  This is what G-Core shipped ("slice"
+  option enabled by default) and it eliminates the SBR attack.
+* :func:`with_bounded_expansion` — keep prefetching, but widen the range
+  by at most a few KB ("it is acceptable to increase the byte range by
+  8KB, which will not cause too much traffic difference").
+* :func:`with_overlap_rejection` — enforce RFC 7233 §6.1: reject range
+  requests with more than two overlapping ranges or many small ranges
+  (CDN77's deployed fix against the OBR attack).
+
+A :class:`MitigatedProfile` keeps the wrapped vendor's identity — its
+header weight, limits, boundary — and only replaces the vulnerable
+policy, so before/after comparisons isolate the mitigation's effect
+(see ``benchmarks/bench_ablation_mitigations.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.cdn.limits import HeaderLimits
+from repro.cdn.multirange import MultiRangeReplyBehavior
+from repro.cdn.policy import ForwardDecision, ForwardPolicy, bounded_expansion
+from repro.cdn.vendors.base import SpecShape, VendorContext, VendorProfile, classify_spec
+from repro.http.message import HttpRequest
+from repro.http.ranges import (
+    ByteRangeSpec,
+    RangeSpecifier,
+    ranges_overlap,
+    try_parse_range_header,
+)
+
+#: RFC 7233 §6.1 heuristics: "more than two overlapping ranges or many
+#: small ranges".
+MAX_OVERLAPPING_RANGES = 2
+MANY_SMALL_RANGES = 16
+SMALL_RANGE_BYTES = 64
+
+
+def rfc7233_multirange_guard(
+    resource_size_hint: int = 1 << 30,
+) -> Callable[[HttpRequest], Optional[str]]:
+    """A request-limit predicate implementing RFC 7233 §6.1's advice.
+
+    Returns a callable suitable for :class:`HeaderLimits.custom`.  The
+    overlap check resolves ranges against ``resource_size_hint`` (open
+    ranges overlap regardless of the exact size, so a large default is
+    safe).
+    """
+
+    def check(request: HttpRequest) -> Optional[str]:
+        spec = try_parse_range_header(request.headers.get("Range"))
+        if spec is None or not spec.is_multi:
+            return None
+        try:
+            resolved = spec.resolve(resource_size_hint)
+        except Exception:  # unsatisfiable: nothing to guard
+            return None
+        overlapping = sum(
+            1
+            for i, a in enumerate(resolved)
+            for b in resolved[i + 1:]
+            if a.overlaps(b)
+        )
+        if overlapping > MAX_OVERLAPPING_RANGES:
+            return f"{overlapping} overlapping range pairs (RFC 7233 6.1 guard)"
+        small = sum(1 for r in resolved if r.length <= SMALL_RANGE_BYTES)
+        if small >= MANY_SMALL_RANGES:
+            return f"{small} small ranges (RFC 7233 6.1 guard)"
+        if ranges_overlap(resolved) and len(resolved) > MAX_OVERLAPPING_RANGES:
+            return "overlapping multi-range request (RFC 7233 6.1 guard)"
+        return None
+
+    return check
+
+
+class MitigatedProfile(VendorProfile):
+    """A vendor profile with its Range forwarding policy replaced.
+
+    The wrapped vendor's observable identity (name, response headers,
+    padding weight, boundary, limits) is preserved; only the policy under
+    test changes.  The default single-connection fetch flow is used
+    deliberately — the multi-connection quirks (Azure, StackPath,
+    KeyCDN) are part of what the mitigations remove.
+    """
+
+    def __init__(
+        self,
+        inner: VendorProfile,
+        forwarding: str = "laziness",
+        expansion_slack: int = 8 * 1024,
+        reply_behavior: Optional[MultiRangeReplyBehavior] = None,
+        extra_guard: Optional[Callable[[HttpRequest], Optional[str]]] = None,
+    ) -> None:
+        if forwarding not in ("laziness", "bounded-expansion"):
+            raise ValueError(f"unknown mitigation forwarding mode {forwarding!r}")
+        limits = inner.limits
+        if extra_guard is not None:
+            limits = HeaderLimits(
+                max_total_header_bytes=limits.max_total_header_bytes,
+                max_single_header_line_bytes=limits.max_single_header_line_bytes,
+                max_ranges=limits.max_ranges,
+                custom=_chain_guards(limits.custom, extra_guard),
+            )
+        super().__init__(limits=limits)
+        self.inner = inner
+        self.forwarding = forwarding
+        self.expansion_slack = expansion_slack
+        # Mirror the wrapped vendor's identity at instance level.
+        self.name = inner.name
+        self.display_name = f"{inner.display_name} (mitigated)"
+        self.reply_behavior = (
+            reply_behavior if reply_behavior is not None else inner.reply_behavior
+        )
+        self.reply_max_parts = inner.reply_max_parts
+        self.multipart_boundary = inner.multipart_boundary
+        self.client_header_block_target = inner.client_header_block_target
+        self.pad_header_name = inner.pad_header_name
+        self.server_header = inner.server_header
+
+    @classmethod
+    def default_config(cls):  # pragma: no cover - config comes from inner
+        return VendorProfile.default_config()
+
+    def forward_decision(
+        self,
+        request: HttpRequest,
+        spec: Optional[RangeSpecifier],
+        ctx: VendorContext,
+    ) -> ForwardDecision:
+        if spec is None:
+            return ForwardDecision.lazy(request.range_header)
+        if self.forwarding == "laziness":
+            return ForwardDecision.lazy(request.range_header)
+        if classify_spec(spec) is SpecShape.SINGLE_CLOSED:
+            only = spec.specs[0]
+            assert isinstance(only, ByteRangeSpec) and only.last is not None
+            first, last = bounded_expansion(only.first, only.last, slack=self.expansion_slack)
+            return ForwardDecision.expand(f"bytes={first}-{last}")
+        return ForwardDecision.lazy(request.range_header)
+
+    def forward_headers(self) -> List[Tuple[str, str]]:
+        return self.inner.forward_headers()
+
+    def response_headers(self) -> List[Tuple[str, str]]:
+        return self.inner.response_headers()
+
+
+def _chain_guards(
+    first: Optional[Callable[[HttpRequest], Optional[str]]],
+    second: Callable[[HttpRequest], Optional[str]],
+) -> Callable[[HttpRequest], Optional[str]]:
+    def check(request: HttpRequest) -> Optional[str]:
+        if first is not None:
+            message = first(request)
+            if message:
+                return message
+        return second(request)
+
+    return check
+
+
+def with_laziness(inner: VendorProfile) -> MitigatedProfile:
+    """The Laziness mitigation (G-Core's deployed fix)."""
+    return MitigatedProfile(inner, forwarding="laziness")
+
+
+def with_bounded_expansion(inner: VendorProfile, slack: int = 8 * 1024) -> MitigatedProfile:
+    """The bounded-expansion mitigation (+``slack`` bytes, default 8 KB)."""
+    return MitigatedProfile(inner, forwarding="bounded-expansion", expansion_slack=slack)
+
+
+def with_overlap_rejection(inner: VendorProfile) -> MitigatedProfile:
+    """The RFC 7233 §6.1 guard (CDN77's deployed fix): overlapping /
+    many-small multi-range requests are rejected at ingress, and replies
+    coalesce instead of honoring duplicates."""
+    return MitigatedProfile(
+        inner,
+        forwarding="laziness",
+        reply_behavior=MultiRangeReplyBehavior.COALESCE,
+        extra_guard=rfc7233_multirange_guard(),
+    )
+
+
+class SlicingProfile(VendorProfile):
+    """Slice-based range fetching — G-Core's deployed fix, properly.
+
+    Instead of Deletion (pull everything) or pure Laziness (cache
+    nothing), the edge fetches fixed-size *slices* covering the requested
+    bytes — ``Range: bytes=<k*S>-<(k+1)*S - 1>`` — and caches each slice
+    independently (the nginx ``slice`` module's behavior, which is what
+    "the slice option" enables).  Per-request origin traffic is bounded
+    by the slice size regardless of the resource size, killing the SBR
+    amplification while keeping range-driven caching.
+
+    Slicing applies to single closed ranges (the SBR shape).  Open-ended
+    and suffix ranges need the representation length up front and are
+    forwarded lazily; multi-range requests are forwarded lazily too.
+    """
+
+    def __init__(self, inner: VendorProfile, slice_size: int = 1 << 20) -> None:
+        if slice_size < 1:
+            raise ValueError(f"slice_size must be >= 1, got {slice_size}")
+        super().__init__(limits=inner.limits)
+        self.inner = inner
+        self.slice_size = slice_size
+        self.name = inner.name
+        self.display_name = f"{inner.display_name} (sliced)"
+        self.reply_behavior = MultiRangeReplyBehavior.COALESCE
+        self.multipart_boundary = inner.multipart_boundary
+        self.client_header_block_target = inner.client_header_block_target
+        self.pad_header_name = inner.pad_header_name
+        self.server_header = inner.server_header
+        #: Slice cache: (host, target, slice index) -> payload body.
+        self._slices: dict = {}
+        #: Learned complete lengths: (host, target) -> int.
+        self._lengths: dict = {}
+
+    def fetch(self, request, spec, ctx, exchange):
+        from repro.cdn.vendors.base import FetchResult, SpecShape, classify_spec
+        from repro.cdn.window import ContentWindow
+        from repro.http.body import CompositeBody
+        from repro.http.ranges import ByteRangeSpec, parse_content_range
+
+        if spec is None or classify_spec(spec) is not SpecShape.SINGLE_CLOSED:
+            return super().fetch(request, spec, ctx, exchange)
+
+        only = spec.specs[0]
+        assert isinstance(only, ByteRangeSpec) and only.last is not None
+        first_slice = only.first // self.slice_size
+        last_slice = only.last // self.slice_size
+        resource_key = (request.host or "", request.target)
+
+        pieces = []
+        complete = self._lengths.get(resource_key)
+        source_headers = None
+        for index in range(first_slice, last_slice + 1):
+            if complete is not None and index * self.slice_size >= complete:
+                break  # requested range runs past EOF; later slices vanish
+            cached = self._slices.get(resource_key + (index,))
+            if cached is not None:
+                pieces.append(cached)
+                continue
+            slice_first = index * self.slice_size
+            slice_last = (index + 1) * self.slice_size - 1
+            upstream = self.build_upstream_request(
+                request, ForwardDecision.expand(f"bytes={slice_first}-{slice_last}")
+            )
+            response = exchange(upstream, note=f"slice:{index}")
+            if response.status == 200:
+                # Origin without range support: take the whole body once.
+                complete = len(response.body)
+                self._lengths[resource_key] = complete
+                return FetchResult(
+                    window=ContentWindow.full(response.body),
+                    policy=ForwardPolicy.EXPANSION,
+                    upstream_status=200,
+                    cacheable_full=True,
+                    source_headers=response.headers,
+                )
+            if response.status != 206:
+                return FetchResult(
+                    passthrough=response,
+                    policy=ForwardPolicy.EXPANSION,
+                    upstream_status=response.status,
+                )
+            content_range = response.headers.get("Content-Range")
+            resolved, complete_from_header = (
+                parse_content_range(content_range) if content_range else (None, None)
+            )
+            if resolved is None or complete_from_header is None:
+                return FetchResult(
+                    passthrough=response,
+                    policy=ForwardPolicy.EXPANSION,
+                    upstream_status=206,
+                )
+            complete = complete_from_header
+            self._lengths[resource_key] = complete
+            self._slices[resource_key + (index,)] = response.body
+            pieces.append(response.body)
+            source_headers = response.headers
+
+        if complete is None or not pieces:
+            # The whole request was past EOF (the slice fetch 416'd) —
+            # fall back to a lazy forward so the origin's 416 relays.
+            return super().fetch(request, spec, ctx, exchange)
+
+        window = ContentWindow(
+            body=CompositeBody(pieces),
+            offset=first_slice * self.slice_size,
+            complete_length=complete,
+        )
+        return FetchResult(
+            window=window,
+            policy=ForwardPolicy.EXPANSION,
+            upstream_status=206,
+            source_headers=source_headers,
+        )
+
+    def forward_headers(self):
+        return self.inner.forward_headers()
+
+    def response_headers(self):
+        return self.inner.response_headers()
+
+    def cached_slice_count(self) -> int:
+        """How many slices this edge currently holds."""
+        return len(self._slices)
+
+
+def with_slicing(inner: VendorProfile, slice_size: int = 1 << 20) -> SlicingProfile:
+    """The slice-option mitigation: per-request origin traffic bounded by
+    ``slice_size``, with per-slice caching."""
+    return SlicingProfile(inner, slice_size=slice_size)

@@ -1,0 +1,21 @@
+"""The request-handler protocol shared by every hop of the pipeline.
+
+Origin servers, CDN nodes, and test doubles all expose the same
+synchronous surface: ``handle(request) -> response``.  Chaining handlers
+is how deployments are wired (client → CDN → ... → origin).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.http.message import HttpRequest, HttpResponse
+
+
+@runtime_checkable
+class HttpHandler(Protocol):
+    """Anything that can answer an HTTP request."""
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Answer ``request``; must not mutate it."""
+        ...

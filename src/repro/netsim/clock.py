@@ -1,0 +1,38 @@
+"""Deterministic simulation clock."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds as floats)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds; returns the new time."""
+        if delta < 0:
+            raise SimulationError(f"cannot advance the clock by {delta} (negative)")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to the absolute instant ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot move the clock backwards from {self._now} to {when}"
+            )
+        self._now = float(when)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now})"

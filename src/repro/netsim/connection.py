@@ -1,0 +1,113 @@
+"""Per-connection traffic accounting.
+
+A :class:`Connection` is the observation point for one hop of the
+client → CDN → origin path.  Every request/response exchange that crosses
+it is recorded as an :class:`ExchangeRecord` with exact wire sizes, which
+the amplification reports later aggregate per segment.
+
+Two non-ideal behaviors the paper relies on are modeled here:
+
+* **response truncation** — Azure cuts its first back-to-origin
+  connection once ~8 MB of payload has arrived; the origin *sent* the
+  whole resource but only part of it crossed the wire.  Callers pass
+  ``deliver_cap`` to :meth:`Connection.exchange` to model this; the
+  record keeps both the sent and the delivered size.
+* **client abort / tiny receive window** — an OBR attacker aborts the
+  client connection (or shrinks its TCP window) so it receives almost
+  nothing while upstream connections keep streaming.  The same
+  ``deliver_cap`` mechanism covers it from the attacker side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.netsim.overhead import NullOverheadModel, OverheadModel
+
+
+@dataclass(frozen=True)
+class ExchangeRecord:
+    """One request/response exchange as seen on a connection."""
+
+    request_bytes: int
+    response_bytes_sent: int
+    response_bytes_delivered: int
+    status: int
+    note: str = ""
+
+    @property
+    def truncated(self) -> bool:
+        return self.response_bytes_delivered < self.response_bytes_sent
+
+
+@dataclass
+class Connection:
+    """A single logical TCP connection between two named endpoints."""
+
+    segment: str
+    client_label: str = "client"
+    server_label: str = "server"
+    overhead: OverheadModel = field(default_factory=NullOverheadModel)
+    records: List[ExchangeRecord] = field(default_factory=list)
+    _setup_counted: bool = field(default=False, repr=False)
+
+    def exchange(
+        self,
+        request: HttpRequest,
+        response: HttpResponse,
+        deliver_cap: Optional[int] = None,
+        note: str = "",
+    ) -> ExchangeRecord:
+        """Record a request/response exchange.
+
+        ``deliver_cap`` bounds how many response wire bytes actually cross
+        the connection (connection cut or receiver-window stall); ``None``
+        delivers everything.
+        """
+        request_bytes = self.overhead.framed_size(request.wire_size())
+        sent = self.overhead.framed_size(response.wire_size())
+        if not self._setup_counted:
+            # Attribute handshake cost to the first response direction;
+            # a single per-connection constant either way.
+            sent += self.overhead.connection_setup_bytes()
+            self._setup_counted = True
+        delivered = sent if deliver_cap is None else min(sent, max(0, deliver_cap))
+        record = ExchangeRecord(
+            request_bytes=request_bytes,
+            response_bytes_sent=sent,
+            response_bytes_delivered=delivered,
+            status=response.status,
+            note=note,
+        )
+        self.records.append(record)
+        return record
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def request_bytes(self) -> int:
+        """Total request-direction wire bytes."""
+        return sum(r.request_bytes for r in self.records)
+
+    @property
+    def response_bytes_sent(self) -> int:
+        """Total response bytes the server side pushed into the connection."""
+        return sum(r.response_bytes_sent for r in self.records)
+
+    @property
+    def response_bytes_delivered(self) -> int:
+        """Total response bytes that actually reached the client side."""
+        return sum(r.response_bytes_delivered for r in self.records)
+
+    @property
+    def exchange_count(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (
+            f"Connection({self.segment}: {self.client_label}->{self.server_label}, "
+            f"{self.exchange_count} exchanges, "
+            f"req={self.request_bytes}B resp={self.response_bytes_sent}B)"
+        )

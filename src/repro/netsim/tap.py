@@ -1,0 +1,104 @@
+"""Segment-level traffic aggregation.
+
+The paper names its observation points after the endpoints they join:
+``client-cdn``, ``cdn-origin``, ``fcdn-bcdn``, ``bcdn-origin``.  A
+:class:`TrafficLedger` owns every :class:`~repro.netsim.connection.Connection`
+opened during an attack run and rolls them up into per-segment
+:class:`SegmentStats` keyed by those names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.netsim.connection import Connection
+from repro.netsim.overhead import NullOverheadModel, OverheadModel
+
+#: Canonical segment names used throughout the experiments.
+CLIENT_CDN = "client-cdn"
+CDN_ORIGIN = "cdn-origin"
+FCDN_BCDN = "fcdn-bcdn"
+BCDN_ORIGIN = "bcdn-origin"
+
+
+@dataclass(frozen=True)
+class SegmentStats:
+    """Aggregated traffic for one named segment."""
+
+    segment: str
+    connection_count: int
+    exchange_count: int
+    request_bytes: int
+    response_bytes_sent: int
+    response_bytes_delivered: int
+
+    @property
+    def total_bytes(self) -> int:
+        """All wire bytes on this segment (both directions, as sent)."""
+        return self.request_bytes + self.response_bytes_sent
+
+
+class TrafficLedger:
+    """Creates, owns, and aggregates connections by segment name."""
+
+    def __init__(self, overhead: Optional[OverheadModel] = None) -> None:
+        self._overhead = overhead if overhead is not None else NullOverheadModel()
+        self._connections: List[Connection] = []
+
+    def open_connection(
+        self,
+        segment: str,
+        client_label: str = "client",
+        server_label: str = "server",
+    ) -> Connection:
+        """Open (and track) a new connection on ``segment``."""
+        connection = Connection(
+            segment=segment,
+            client_label=client_label,
+            server_label=server_label,
+            overhead=self._overhead,
+        )
+        self._connections.append(connection)
+        return connection
+
+    @property
+    def connections(self) -> List[Connection]:
+        return list(self._connections)
+
+    def connections_on(self, segment: str) -> List[Connection]:
+        return [c for c in self._connections if c.segment == segment]
+
+    def segment_names(self) -> List[str]:
+        """Segment names in first-seen order."""
+        seen: Dict[str, None] = {}
+        for connection in self._connections:
+            seen.setdefault(connection.segment, None)
+        return list(seen)
+
+    def segment_stats(self, segment: str) -> SegmentStats:
+        """Aggregate every connection on ``segment``."""
+        connections = self.connections_on(segment)
+        return SegmentStats(
+            segment=segment,
+            connection_count=len(connections),
+            exchange_count=sum(c.exchange_count for c in connections),
+            request_bytes=sum(c.request_bytes for c in connections),
+            response_bytes_sent=sum(c.response_bytes_sent for c in connections),
+            response_bytes_delivered=sum(c.response_bytes_delivered for c in connections),
+        )
+
+    def all_stats(self) -> Dict[str, SegmentStats]:
+        return {name: self.segment_stats(name) for name in self.segment_names()}
+
+    def response_bytes(self, segment: str, delivered: bool = False) -> int:
+        """Shorthand for the response-direction byte count of a segment."""
+        stats = self.segment_stats(segment)
+        return stats.response_bytes_delivered if delivered else stats.response_bytes_sent
+
+    def __repr__(self) -> str:
+        summary = ", ".join(
+            f"{name}={self.segment_stats(name).response_bytes_sent}B"
+            for name in self.segment_names()
+        )
+        return f"TrafficLedger({summary})"

@@ -1,0 +1,103 @@
+"""Structured trace export for attack runs.
+
+The paper's evidence is packet captures; the simulator's equivalent is
+the traffic ledger.  This module flattens a ledger into an ordered event
+stream and serializes it as JSON Lines, so runs can be archived, diffed
+across versions, or post-processed with standard tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import IO, Dict, Iterable, List
+
+from repro.netsim.tap import TrafficLedger
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One request/response exchange, flattened for export."""
+
+    sequence: int
+    segment: str
+    client: str
+    server: str
+    connection_index: int
+    exchange_index: int
+    status: int
+    request_bytes: int
+    response_bytes_sent: int
+    response_bytes_delivered: int
+    truncated: bool
+    note: str
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        payload = json.loads(line)
+        return cls(**payload)
+
+
+def ledger_events(ledger: TrafficLedger) -> List[TraceEvent]:
+    """Flatten every exchange in ``ledger`` into ordered events.
+
+    Ordering is per-connection creation order, then per-exchange order —
+    the order the simulator produced them in.
+    """
+    events: List[TraceEvent] = []
+    sequence = 0
+    for connection_index, connection in enumerate(ledger.connections):
+        for exchange_index, record in enumerate(connection.records):
+            events.append(
+                TraceEvent(
+                    sequence=sequence,
+                    segment=connection.segment,
+                    client=connection.client_label,
+                    server=connection.server_label,
+                    connection_index=connection_index,
+                    exchange_index=exchange_index,
+                    status=record.status,
+                    request_bytes=record.request_bytes,
+                    response_bytes_sent=record.response_bytes_sent,
+                    response_bytes_delivered=record.response_bytes_delivered,
+                    truncated=record.truncated,
+                    note=record.note,
+                )
+            )
+            sequence += 1
+    return events
+
+
+def dump_jsonl(ledger: TrafficLedger, stream: IO[str]) -> int:
+    """Write the ledger's events to ``stream`` as JSON Lines; returns the
+    event count."""
+    count = 0
+    for event in ledger_events(ledger):
+        stream.write(event.to_json())
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def load_jsonl(stream: IO[str]) -> List[TraceEvent]:
+    """Read events back from a JSON Lines stream."""
+    return [TraceEvent.from_json(line) for line in stream if line.strip()]
+
+
+def summarize(events: Iterable[TraceEvent]) -> Dict[str, Dict[str, int]]:
+    """Per-segment totals, matching :meth:`TrafficLedger.segment_stats`."""
+    totals: Dict[str, Dict[str, int]] = {}
+    for event in events:
+        bucket = totals.setdefault(
+            event.segment,
+            {"exchanges": 0, "request_bytes": 0, "response_bytes_sent": 0,
+             "response_bytes_delivered": 0},
+        )
+        bucket["exchanges"] += 1
+        bucket["request_bytes"] += event.request_bytes
+        bucket["response_bytes_sent"] += event.response_bytes_sent
+        bucket["response_bytes_delivered"] += event.response_bytes_delivered
+    return totals

@@ -1,0 +1,82 @@
+"""Numeric series behind the paper's figures.
+
+* Fig 6a/6b/6c — per-vendor SBR amplification factor, CDN-to-client
+  traffic, and origin-to-CDN traffic, swept over resource sizes of
+  1–25 MB.
+* Fig 7a/7b — client incoming and origin outgoing bandwidth over time
+  for m = 1..15 concurrent attack streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cdn.vendors import all_vendor_names
+from repro.core.practical import BandwidthAttackSimulation, BandwidthRunResult
+from repro.core.sbr import SbrAttack
+
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class Fig6Series:
+    """One vendor's curve across the three panels of Fig 6."""
+
+    vendor: str
+    sizes: Tuple[int, ...]
+    #: Fig 6a — amplification factor per size.
+    factors: Tuple[float, ...]
+    #: Fig 6b — response traffic CDN -> client per size (bytes).
+    client_traffic: Tuple[int, ...]
+    #: Fig 6c — response traffic origin -> CDN per size (bytes).
+    origin_traffic: Tuple[int, ...]
+
+
+def default_fig6_sizes() -> List[int]:
+    """1 MB to 25 MB stepped by 1 MB, as in the paper."""
+    return [m * MB for m in range(1, 26)]
+
+
+def fig6_series(
+    vendors: Optional[Sequence[str]] = None,
+    sizes: Optional[Sequence[int]] = None,
+) -> List[Fig6Series]:
+    """Regenerate the Fig 6 sweep."""
+    names = list(vendors) if vendors is not None else all_vendor_names()
+    size_list = list(sizes) if sizes is not None else default_fig6_sizes()
+    series = []
+    for name in names:
+        factors: List[float] = []
+        client: List[int] = []
+        origin: List[int] = []
+        for size in size_list:
+            result = SbrAttack(name, resource_size=size).run()
+            factors.append(result.amplification)
+            client.append(result.client_traffic)
+            origin.append(result.origin_traffic)
+        series.append(
+            Fig6Series(
+                vendor=name,
+                sizes=tuple(size_list),
+                factors=tuple(factors),
+                client_traffic=tuple(client),
+                origin_traffic=tuple(origin),
+            )
+        )
+    return series
+
+
+def fig7_series(
+    ms: Sequence[int] = tuple(range(1, 16)),
+    vendor: str = "cloudflare",
+    resource_size: int = 10 * MB,
+    origin_uplink_mbps: float = 1000.0,
+) -> List[BandwidthRunResult]:
+    """Regenerate the Fig 7 sweep (one bandwidth run per m)."""
+    simulation = BandwidthAttackSimulation(
+        vendor=vendor,
+        resource_size=resource_size,
+        origin_uplink_mbps=origin_uplink_mbps,
+    )
+    return simulation.sweep(ms)

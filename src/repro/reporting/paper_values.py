@@ -1,0 +1,64 @@
+"""The numbers the paper printed, used for paper-vs-measured comparison.
+
+Sources: Table IV (SBR amplification factors at 1/10/25 MB), Table V
+(OBR max n and amplification factors), and the §V-D narrative for
+Fig 7's saturation points.  These are *reference values from the
+original testbed*, not assertions this simulator must hit exactly — the
+tests check shape with explicit tolerances documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+MB = 1 << 20
+
+#: Table IV: vendor -> {resource size in bytes: amplification factor}.
+PAPER_TABLE4_FACTORS = {
+    "akamai": {1 * MB: 1707, 10 * MB: 16991, 25 * MB: 43093},
+    "alibaba": {1 * MB: 1056, 10 * MB: 10498, 25 * MB: 26241},
+    "azure": {1 * MB: 1401, 10 * MB: 15016, 25 * MB: 23481},
+    "cdn77": {1 * MB: 1612, 10 * MB: 15915, 25 * MB: 40390},
+    "cdnsun": {1 * MB: 1578, 10 * MB: 15705, 25 * MB: 38730},
+    "cloudflare": {1 * MB: 1282, 10 * MB: 12791, 25 * MB: 31836},
+    "cloudfront": {1 * MB: 1356, 10 * MB: 9214, 25 * MB: 9281},
+    "fastly": {1 * MB: 1286, 10 * MB: 12836, 25 * MB: 31820},
+    "gcore": {1 * MB: 1763, 10 * MB: 17197, 25 * MB: 43330},
+    "huawei": {1 * MB: 1465, 10 * MB: 14631, 25 * MB: 36335},
+    "keycdn": {1 * MB: 724, 10 * MB: 7117, 25 * MB: 17744},
+    "stackpath": {1 * MB: 1297, 10 * MB: 13007, 25 * MB: 32491},
+    "tencent": {1 * MB: 1308, 10 * MB: 12997, 25 * MB: 32438},
+}
+
+#: Table V: (fcdn, bcdn) -> (max n, bcdn-origin bytes, fcdn-bcdn bytes,
+#: amplification factor).  StackPath -> StackPath is excluded by the
+#: paper (a CDN is not cascaded with itself).
+PAPER_TABLE5 = {
+    ("cdn77", "akamai"): (5455, 1676, 6350944, 3789.35),
+    ("cdn77", "azure"): (64, 1620, 86745, 53.55),
+    ("cdn77", "stackpath"): (5455, 1808, 6413097, 3547.07),
+    ("cdnsun", "akamai"): (5456, 1676, 6337810, 3781.51),
+    ("cdnsun", "azure"): (64, 1620, 84481, 52.15),
+    ("cdnsun", "stackpath"): (5456, 1808, 6414011, 3547.57),
+    ("cloudflare", "akamai"): (10750, 1676, 12456915, 7432.53),
+    ("cloudflare", "azure"): (64, 1620, 85386, 52.71),
+    ("cloudflare", "stackpath"): (10750, 1940, 12636554, 6513.69),
+    ("stackpath", "akamai"): (10801, 1676, 12522091, 7471.41),
+    ("stackpath", "azure"): (64, 1620, 82191, 50.74),
+}
+
+#: Table I membership: every examined CDN is SBR-vulnerable.
+PAPER_SBR_VULNERABLE = (
+    "akamai", "alibaba", "azure", "cdn77", "cdnsun", "cloudflare",
+    "cloudfront", "fastly", "gcore", "huawei", "keycdn", "stackpath",
+    "tencent",
+)
+
+#: Table II membership: OBR-usable front-ends.
+PAPER_OBR_FRONTENDS = ("cdn77", "cdnsun", "cloudflare", "stackpath")
+
+#: Table III membership: OBR-usable back-ends.
+PAPER_OBR_BACKENDS = ("akamai", "azure", "stackpath")
+
+#: §V-D: the origin's 1000 Mbps uplink is nearly saturated from m = 11
+#: and completely exhausted from m = 14.
+PAPER_FIG7_NEAR_SATURATION_M = 11
+PAPER_FIG7_FULL_SATURATION_M = 14

@@ -1,0 +1,200 @@
+"""Structured regeneration of the paper's Tables I–V."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdn.vendors import all_vendor_names, profile_class
+from repro.core.feasibility import FeasibilityProbe, VendorFeasibility, survey
+from repro.core.obr import ObrAttack, vulnerable_combinations
+from repro.core.sbr import SbrAttack, exploited_range_cases
+
+MB = 1 << 20
+
+
+# ---------------------------------------------------------------------------
+# Table I — range forwarding behaviors vulnerable to the SBR attack
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table1Row:
+    vendor: str
+    display_name: str
+    vulnerable: bool
+    #: (range format, observed policy) pairs that amplify.
+    vulnerable_formats: Tuple[Tuple[str, str], ...]
+
+
+def table1_rows(
+    vendors: Optional[Sequence[str]] = None,
+    file_size: int = 64 * 1024,
+    feasibility: Optional[Dict[str, VendorFeasibility]] = None,
+) -> List[Table1Row]:
+    """Regenerate Table I by probing each vendor's forwarding policies."""
+    results = feasibility if feasibility is not None else survey(vendors, file_size)
+    rows = []
+    for name in sorted(results):
+        verdict = results[name]
+        rows.append(
+            Table1Row(
+                vendor=name,
+                display_name=profile_class(name).display_name,
+                vulnerable=verdict.sbr_vulnerable,
+                vulnerable_formats=tuple(verdict.amplifying_formats()),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table II — forwarding behaviors vulnerable to the OBR attack (FCDN side)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table2Row:
+    vendor: str
+    display_name: str
+    #: Multi-range formats forwarded unchanged.
+    lazy_formats: Tuple[str, ...]
+
+
+def table2_rows(
+    vendors: Optional[Sequence[str]] = None,
+    file_size: int = 64 * 1024,
+    feasibility: Optional[Dict[str, VendorFeasibility]] = None,
+) -> List[Table2Row]:
+    """Regenerate Table II: vendors usable as the OBR front-end."""
+    results = feasibility if feasibility is not None else survey(vendors, file_size)
+    rows = []
+    for name in sorted(results):
+        verdict = results[name]
+        if verdict.obr_fcdn_vulnerable:
+            rows.append(
+                Table2Row(
+                    vendor=name,
+                    display_name=profile_class(name).display_name,
+                    lazy_formats=tuple(verdict.lazy_multi_formats()),
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table III — replying behaviors vulnerable to the OBR attack (BCDN side)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table3Row:
+    vendor: str
+    display_name: str
+    #: Part-count limit, if the vendor enforces one (Azure's 64).
+    part_limit: Optional[int]
+
+
+def table3_rows(
+    vendors: Optional[Sequence[str]] = None,
+    file_size: int = 64 * 1024,
+    feasibility: Optional[Dict[str, VendorFeasibility]] = None,
+) -> List[Table3Row]:
+    """Regenerate Table III: vendors usable as the OBR back-end."""
+    results = feasibility if feasibility is not None else survey(vendors, file_size)
+    rows = []
+    for name in sorted(results):
+        verdict = results[name]
+        if verdict.obr_bcdn_vulnerable:
+            assert verdict.reply is not None
+            rows.append(
+                Table3Row(
+                    vendor=name,
+                    display_name=profile_class(name).display_name,
+                    part_limit=verdict.reply.part_limit,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table IV — SBR amplification factor vs resource size
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table4Row:
+    vendor: str
+    display_name: str
+    exploited_cases: Tuple[str, ...]
+    #: resource size (bytes) -> measured amplification factor.
+    factors: Dict[int, float]
+    #: resource size (bytes) -> client-side response traffic (bytes).
+    client_traffic: Dict[int, int]
+    #: resource size (bytes) -> origin-side response traffic (bytes).
+    origin_traffic: Dict[int, int]
+
+
+def table4_rows(
+    vendors: Optional[Sequence[str]] = None,
+    sizes: Sequence[int] = (1 * MB, 10 * MB, 25 * MB),
+) -> List[Table4Row]:
+    """Regenerate Table IV by running the SBR attack at each size."""
+    names = list(vendors) if vendors is not None else all_vendor_names()
+    rows = []
+    for name in names:
+        factors: Dict[int, float] = {}
+        client: Dict[int, int] = {}
+        origin: Dict[int, int] = {}
+        for size in sizes:
+            result = SbrAttack(name, resource_size=size).run()
+            factors[size] = result.amplification
+            client[size] = result.client_traffic
+            origin[size] = result.origin_traffic
+        rows.append(
+            Table4Row(
+                vendor=name,
+                display_name=profile_class(name).display_name,
+                exploited_cases=tuple(exploited_range_cases(name, max(sizes))),
+                factors=factors,
+                client_traffic=client,
+                origin_traffic=origin,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table V — max OBR amplification per FCDN x BCDN combination
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table5Row:
+    fcdn: str
+    bcdn: str
+    exploited_case_prefix: str
+    max_n: int
+    bcdn_origin_traffic: int
+    fcdn_bcdn_traffic: int
+    factor: float
+
+
+def table5_rows(
+    combinations: Optional[Sequence[Tuple[str, str]]] = None,
+    resource_size: int = 1024,
+) -> List[Table5Row]:
+    """Regenerate Table V: search max n per combination, then measure."""
+    combos = list(combinations) if combinations is not None else vulnerable_combinations()
+    rows = []
+    for fcdn, bcdn in combos:
+        attack = ObrAttack(fcdn, bcdn, resource_size=resource_size)
+        result = attack.run()
+        prefix = attack.range_value(3)
+        rows.append(
+            Table5Row(
+                fcdn=fcdn,
+                bcdn=bcdn,
+                exploited_case_prefix=prefix + ",...",
+                max_n=result.overlap_count,
+                bcdn_origin_traffic=result.bcdn_origin_traffic,
+                fcdn_bcdn_traffic=result.fcdn_bcdn_traffic,
+                factor=result.amplification,
+            )
+        )
+    return rows

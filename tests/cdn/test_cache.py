@@ -1,0 +1,111 @@
+"""Unit tests for the CDN edge cache."""
+
+import pytest
+
+from repro.cdn.cache import CdnCache
+from repro.http.message import HttpRequest, HttpResponse
+
+
+def _request(target="/x.bin", host="h"):
+    return HttpRequest("GET", target, headers=[("Host", host)])
+
+
+def _full_response(size=100):
+    return HttpResponse(200, headers=[("Content-Length", str(size))], body=size)
+
+
+class TestBasicCaching:
+    def test_miss_then_hit(self):
+        cache = CdnCache()
+        request = _request()
+        assert cache.get(request) is None
+        assert cache.put(request, _full_response())
+        hit = cache.get(request)
+        assert hit is not None
+        assert hit.status == 200
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_hit_returns_copy(self):
+        cache = CdnCache()
+        request = _request()
+        cache.put(request, _full_response())
+        first = cache.get(request)
+        first.headers.add("X-Mutated", "yes")
+        second = cache.get(request)
+        assert "X-Mutated" not in second.headers
+
+    def test_query_string_is_part_of_the_key(self):
+        """The cache-busting premise: a fresh query string misses."""
+        cache = CdnCache()
+        cache.put(_request("/x.bin?cb=0"), _full_response())
+        assert cache.get(_request("/x.bin?cb=0")) is not None
+        assert cache.get(_request("/x.bin?cb=1")) is None
+        assert cache.get(_request("/x.bin")) is None
+
+    def test_host_is_part_of_the_key(self):
+        cache = CdnCache()
+        cache.put(_request(host="a"), _full_response())
+        assert cache.get(_request(host="b")) is None
+
+
+class TestCacheability:
+    def test_only_200_stored(self):
+        cache = CdnCache()
+        assert not cache.put(_request(), HttpResponse(206, body=b"x"))
+        assert not cache.put(_request(), HttpResponse(404))
+        assert len(cache) == 0
+
+    def test_non_get_not_cached(self):
+        cache = CdnCache()
+        request = HttpRequest("HEAD", "/x", headers=[("Host", "h")])
+        assert not cache.put(request, _full_response())
+        assert cache.get(request) is None
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = CdnCache(enabled=False)
+        assert not cache.put(_request(), _full_response())
+        assert cache.get(_request()) is None
+        # Disabled lookups do not even count as misses.
+        assert cache.stats.lookups == 0
+
+
+class TestEviction:
+    def test_fifo_eviction_at_capacity(self):
+        cache = CdnCache(max_entries=2)
+        cache.put(_request("/a"), _full_response())
+        cache.put(_request("/b"), _full_response())
+        cache.put(_request("/c"), _full_response())
+        assert cache.get(_request("/a")) is None
+        assert cache.get(_request("/b")) is not None
+        assert cache.get(_request("/c")) is not None
+        assert cache.stats.evictions == 1
+
+    def test_replacing_existing_key_does_not_evict(self):
+        cache = CdnCache(max_entries=2)
+        cache.put(_request("/a"), _full_response(1))
+        cache.put(_request("/b"), _full_response(2))
+        cache.put(_request("/a"), _full_response(3))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CdnCache(max_entries=0)
+
+
+class TestPurge:
+    def test_purge_clears(self):
+        cache = CdnCache()
+        cache.put(_request("/a"), _full_response())
+        cache.put(_request("/b"), _full_response())
+        assert cache.purge() == 2
+        assert len(cache) == 0
+        assert cache.get(_request("/a")) is None
+
+    def test_contains(self):
+        cache = CdnCache()
+        cache.put(_request("/a"), _full_response())
+        assert _request("/a") in cache
+        assert _request("/b") not in cache
+        assert "not-a-request" not in cache

@@ -1,0 +1,133 @@
+"""Tests for cache freshness semantics (TTL, Cache-Control) and the
+§II-A no-store attack path."""
+
+import pytest
+
+from repro.cdn.cache import CdnCache, parse_cache_control, shared_cache_ttl
+from repro.cdn.node import CdnNode
+from repro.cdn.vendors import create_profile
+from repro.http.message import HttpRequest, HttpResponse
+from repro.netsim.clock import SimClock
+from repro.netsim.tap import CDN_ORIGIN, TrafficLedger
+from repro.origin.resource import Resource
+from repro.origin.server import OriginServer
+
+from tests.conftest import get
+
+
+def _request(target="/x.bin"):
+    return HttpRequest("GET", target, headers=[("Host", "h")])
+
+
+def _response(cache_control=None, size=100):
+    headers = [("Content-Length", str(size))]
+    if cache_control is not None:
+        headers.append(("Cache-Control", cache_control))
+    return HttpResponse(200, headers=headers, body=size)
+
+
+class TestParseCacheControl:
+    def test_directives(self):
+        parsed = parse_cache_control('public, max-age=60, s-maxage="120", no-transform')
+        assert parsed == {
+            "public": None,
+            "max-age": "60",
+            "s-maxage": "120",
+            "no-transform": None,
+        }
+
+    def test_empty_and_none(self):
+        assert parse_cache_control(None) == {}
+        assert parse_cache_control("") == {}
+        assert parse_cache_control(", ,") == {}
+
+    def test_case_insensitive_names(self):
+        assert "no-store" in parse_cache_control("No-Store")
+
+
+class TestSharedCacheTtl:
+    def test_s_maxage_wins(self):
+        assert shared_cache_ttl(parse_cache_control("max-age=60, s-maxage=10")) == 10.0
+
+    def test_max_age_fallback(self):
+        assert shared_cache_ttl(parse_cache_control("max-age=60")) == 60.0
+
+    def test_no_cache_is_zero(self):
+        assert shared_cache_ttl(parse_cache_control("no-cache, max-age=60")) == 0.0
+
+    def test_unspecified(self):
+        assert shared_cache_ttl(parse_cache_control("public")) is None
+
+    def test_negative_clamped(self):
+        assert shared_cache_ttl(parse_cache_control("max-age=-5")) == 0.0
+
+    def test_garbage_age_ignored(self):
+        assert shared_cache_ttl(parse_cache_control("max-age=soon")) is None
+
+
+class TestTtlExpiry:
+    def test_entry_expires_with_the_clock(self):
+        clock = SimClock()
+        cache = CdnCache(clock=clock)
+        cache.put(_request(), _response(cache_control="max-age=10"))
+        assert cache.get(_request()) is not None
+        clock.advance(9.9)
+        assert cache.get(_request()) is not None
+        clock.advance(0.2)
+        assert cache.get(_request()) is None
+        assert cache.stats.expirations == 1
+
+    def test_default_ttl_applies_without_directives(self):
+        clock = SimClock()
+        cache = CdnCache(clock=clock, default_ttl=5.0)
+        cache.put(_request(), _response())
+        clock.advance(6.0)
+        assert cache.get(_request()) is None
+
+    def test_no_ttl_means_forever(self):
+        clock = SimClock()
+        cache = CdnCache(clock=clock)
+        cache.put(_request(), _response())
+        clock.advance(1e9)
+        assert cache.get(_request()) is not None
+
+
+class TestUncacheableDirectives:
+    @pytest.mark.parametrize("directive", ["no-store", "private", "no-cache"])
+    def test_not_stored(self, directive):
+        cache = CdnCache()
+        assert not cache.put(_request(), _response(cache_control=directive))
+        assert cache.stats.uncacheable == 1
+        assert len(cache) == 0
+
+
+class TestNoStoreAttackPath:
+    """§II-A: a malicious customer disables caching origin-side, making
+    every SBR request a back-to-origin fetch without query busting."""
+
+    def _node(self, cache_control):
+        origin = OriginServer()
+        origin.add_resource(
+            Resource(path="/file.bin", body=100_000, cache_control=cache_control)
+        )
+        return CdnNode(create_profile("gcore"), origin, ledger=TrafficLedger()), origin
+
+    def test_no_store_origin_amplifies_on_every_identical_request(self):
+        node, origin = self._node("no-store")
+        for _ in range(5):
+            response = get(node, range_value="bytes=0-0")
+            assert response.status == 206
+        # All five identical requests hit the origin.
+        assert origin.stats.requests == 5
+        assert node.ledger.segment_stats(CDN_ORIGIN).response_bytes_delivered > 500_000
+
+    def test_cacheable_origin_absorbs_identical_requests(self):
+        node, origin = self._node(None)
+        for _ in range(5):
+            get(node, range_value="bytes=0-0")
+        assert origin.stats.requests == 1
+
+    def test_cache_control_relayed_to_the_client(self):
+        node, _ = self._node("no-store")
+        response = get(node, range_value="bytes=0-0")
+        assert response.headers.get("Cache-Control") == "no-store"

@@ -1,0 +1,101 @@
+"""Model-based (stateful) testing of the edge cache.
+
+Hypothesis drives random sequences of put/get/purge/clock-advance
+operations against both the real cache and a trivial reference model;
+any divergence is a bug.  This catches interaction bugs (eviction ×
+expiry × replacement) that example-based tests miss.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+
+from repro.cdn.cache import CdnCache
+from repro.http.message import HttpRequest, HttpResponse
+from repro.netsim.clock import SimClock
+
+MAX_ENTRIES = 4
+
+_keys = st.sampled_from([f"/r{i}" for i in range(8)])
+_ttls = st.one_of(st.none(), st.integers(min_value=1, max_value=20))
+
+
+def _request(target):
+    return HttpRequest("GET", target, headers=[("Host", "h")])
+
+
+def _response(marker, ttl):
+    headers = [("Content-Length", "4"), ("X-Marker", marker)]
+    if ttl is not None:
+        headers.append(("Cache-Control", f"max-age={ttl}"))
+    return HttpResponse(200, headers=headers, body=b"data")
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = SimClock()
+        self.cache = CdnCache(max_entries=MAX_ENTRIES, clock=self.clock)
+        # Reference model: key -> (marker, expires_at or None), FIFO order.
+        self.model = {}
+        self.counter = 0
+
+    @rule(key=_keys, ttl=_ttls)
+    def put(self, key, ttl):
+        marker = f"m{self.counter}"
+        self.counter += 1
+        stored = self.cache.put(_request(key), _response(marker, ttl))
+        assert stored  # always cacheable in this machine
+        model_key = ("h", key)
+        if model_key not in self.model and len(self.model) >= MAX_ENTRIES:
+            # FIFO eviction of the oldest insertion.
+            oldest = next(iter(self.model))
+            del self.model[oldest]
+        expires = None if ttl is None else self.clock.now + ttl
+        # Replacement keeps the original FIFO position (OrderedDict
+        # semantics without move_to_end).
+        if model_key in self.model:
+            self.model[model_key] = (marker, expires)
+        else:
+            self.model[model_key] = (marker, expires)
+
+    @rule(key=_keys)
+    def get(self, key):
+        model_key = ("h", key)
+        expected = self.model.get(model_key)
+        if expected is not None:
+            marker, expires = expected
+            if expires is not None and self.clock.now >= expires:
+                del self.model[model_key]
+                expected = None
+        actual = self.cache.get(_request(key))
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual is not None
+            assert actual.headers.get("X-Marker") == expected[0]
+
+    @rule(delta=st.integers(min_value=1, max_value=15))
+    def advance_clock(self, delta):
+        self.clock.advance(float(delta))
+
+    @rule()
+    def purge(self):
+        self.cache.purge()
+        self.model.clear()
+
+    @invariant()
+    def size_bounded(self):
+        assert len(self.cache) <= MAX_ENTRIES
+
+    @invariant()
+    def stats_consistent(self):
+        stats = self.cache.stats
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.evictions >= 0
+
+
+CacheMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestCacheModel = CacheMachine.TestCase

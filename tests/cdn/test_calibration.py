@@ -1,0 +1,73 @@
+"""Calibration regression tests.
+
+The per-vendor client-response header weight is what encodes Fig 6a's
+distinct slopes (the paper: "due to the great difference resulted from
+different response headers inserted by CDNs").  These tests pin the
+padding machinery: the canonical SBR response must hit each vendor's
+calibrated block size exactly, so factor drift can only come from real
+behavior changes, never from header-weight noise.
+"""
+
+import pytest
+
+from repro.cdn.vendors import all_vendor_names, create_profile, profile_class
+from repro.core.sbr import SbrAttack
+
+MB = 1 << 20
+
+
+class TestHeaderWeightTargets:
+    @pytest.mark.parametrize("vendor", all_vendor_names())
+    def test_canonical_response_hits_the_calibrated_block_size(self, vendor):
+        attack = SbrAttack(vendor, resource_size=1 * MB)
+        deployment = attack.build_deployment()
+        client = deployment.client()
+        case = "bytes=-1" if vendor in ("alibaba", "huawei") else "bytes=0-0"
+        result = client.get("/target.bin?cb=0", range_value=case)
+        target = profile_class(vendor).client_header_block_target
+        assert result.response.header_block_size() == target, (
+            f"{vendor}: block {result.response.header_block_size()} != "
+            f"calibrated {target}"
+        )
+
+    @pytest.mark.parametrize("vendor", all_vendor_names())
+    def test_targets_are_distinct_enough_to_order_the_slopes(self, vendor):
+        """G-Core lightest, Alibaba heaviest — the Fig 6a ordering."""
+        target = profile_class(vendor).client_header_block_target
+        assert profile_class("gcore").client_header_block_target <= target
+        assert target <= profile_class("alibaba").client_header_block_target
+
+    def test_padding_is_deterministic(self):
+        from repro.http.message import HttpResponse
+
+        profile = create_profile("akamai")
+        first = HttpResponse(206, headers=[("Content-Length", "1")], body=b"x")
+        second = HttpResponse(206, headers=[("Content-Length", "1")], body=b"x")
+        profile.pad_response(first)
+        profile.pad_response(second)
+        assert first.serialize() == second.serialize()
+
+    def test_padding_never_overshoots_when_already_heavy(self):
+        from repro.http.headers import Headers
+        from repro.http.message import HttpResponse
+
+        profile = create_profile("gcore")  # smallest target
+        heavy = HttpResponse(
+            206,
+            headers=Headers([("X-Big", "v" * 2000)]),
+            body=b"x",
+        )
+        before = heavy.header_block_size()
+        profile.pad_response(heavy)
+        assert heavy.header_block_size() == before  # no pad added
+
+
+class TestAgeHeader:
+    def test_cached_responses_carry_age(self):
+        from tests.conftest import get, make_node, make_origin
+
+        node = make_node("gcore", make_origin(1000))
+        first = get(node)
+        second = get(node)
+        assert "Age" not in first.headers  # fresh fetch
+        assert second.headers.get("Age") == "0"  # cache hit, t=0

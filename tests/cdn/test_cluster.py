@@ -1,0 +1,101 @@
+"""Tests for multi-node edge clusters."""
+
+import pytest
+
+from repro.cdn.cluster import ROTATE, URL_HASH, EdgeCluster
+from repro.errors import ConfigurationError
+from repro.http.message import HttpRequest
+from repro.netsim.tap import CDN_ORIGIN
+
+from tests.conftest import make_origin
+
+
+def _request(target="/file.bin", range_value=None):
+    headers = [("Host", "victim.example")]
+    if range_value is not None:
+        headers.append(("Range", range_value))
+    return HttpRequest("GET", target, headers=headers)
+
+
+class TestConstruction:
+    def test_nodes_have_independent_caches_and_profiles(self):
+        cluster = EdgeCluster("keycdn", make_origin(), node_count=3)
+        profiles = {id(node.profile) for node in cluster.nodes}
+        caches = {id(node.cache) for node in cluster.nodes}
+        assert len(profiles) == 3
+        assert len(caches) == 3
+
+    def test_shared_ledger(self):
+        cluster = EdgeCluster("gcore", make_origin(), node_count=3)
+        assert all(node.ledger is cluster.ledger for node in cluster.nodes)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            EdgeCluster("gcore", make_origin(), node_count=0)
+        with pytest.raises(ConfigurationError):
+            EdgeCluster("gcore", make_origin(), selection="random")
+
+
+class TestRotateSelection:
+    def test_round_robin(self):
+        cluster = EdgeCluster("gcore", make_origin(), node_count=3, selection=ROTATE)
+        picked = [cluster.node_for(_request()) for _ in range(6)]
+        assert picked[0:3] == picked[3:6]
+        assert len(set(id(n) for n in picked[0:3])) == 3
+
+    def test_same_url_misses_every_node_cache(self):
+        """The §V-D attacker methodology: hitting different ingress nodes
+        multiplies origin fetches even without cache busting."""
+        origin = make_origin(10_000)
+        cluster = EdgeCluster("gcore", origin, node_count=4, selection=ROTATE)
+        for _ in range(4):
+            cluster.handle(_request(range_value="bytes=0-0"))
+        assert cluster.origin_fetches() == 4
+        # Second sweep: every node now has it cached.
+        for _ in range(4):
+            cluster.handle(_request(range_value="bytes=0-0"))
+        assert cluster.origin_fetches() == 4
+
+    def test_served_per_node_balanced(self):
+        cluster = EdgeCluster("gcore", make_origin(), node_count=4)
+        for _ in range(12):
+            cluster.handle(_request())
+        assert cluster.served_per_node() == [3, 3, 3, 3]
+
+
+class TestUrlHashSelection:
+    def test_same_url_sticks_to_one_node(self):
+        origin = make_origin(10_000)
+        cluster = EdgeCluster("gcore", origin, node_count=4, selection=URL_HASH)
+        for _ in range(8):
+            cluster.handle(_request(range_value="bytes=0-0"))
+        # Affinity: one origin fetch, then seven cache hits.
+        assert cluster.origin_fetches() == 1
+        assert sorted(cluster.served_per_node(), reverse=True)[0] == 8
+
+    def test_different_urls_spread(self):
+        origin = make_origin(10_000)
+        cluster = EdgeCluster("gcore", origin, node_count=4, selection=URL_HASH)
+        for index in range(32):
+            cluster.handle(_request(target=f"/file.bin?cb={index}"))
+        used = sum(1 for count in cluster.served_per_node() if count > 0)
+        assert used >= 3
+
+    def test_selection_is_deterministic(self):
+        cluster = EdgeCluster("gcore", make_origin(), node_count=4, selection=URL_HASH)
+        first = cluster.node_for(_request("/a"))
+        second = cluster.node_for(_request("/a"))
+        assert first is second
+
+
+class TestKeycdnStateIsPerEdge:
+    def test_second_request_at_different_node_stays_lazy(self):
+        """KeyCDN's request memory lives on each edge: spreading the two
+        sends across nodes does not trigger the deletion fetch."""
+        origin = make_origin(100_000)
+        cluster = EdgeCluster("keycdn", origin, node_count=2, selection=ROTATE)
+        cluster.handle(_request(range_value="bytes=0-0"))
+        cluster.handle(_request(range_value="bytes=0-0"))
+        # Both landed on different nodes -> both lazy 206s, no full fetch.
+        assert origin.stats.full_responses == 0
+        assert origin.stats.partial_responses == 2

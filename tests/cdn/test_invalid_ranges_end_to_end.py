@@ -1,0 +1,32 @@
+"""RFC 7233 §3.1 end-to-end: every malformed Range header must be
+ignored — a plain 200 with the full body, through every vendor."""
+
+import pytest
+
+from repro.http.grammar import RangeCorpusGenerator
+from repro.http.ranges import try_parse_range_header
+from repro.cdn.vendors import all_vendor_names
+
+from tests.conftest import get, make_node, make_origin
+
+INVALID = RangeCorpusGenerator(file_size=4096).invalid_cases()
+
+
+class TestInvalidCorpus:
+    @pytest.mark.parametrize("value", INVALID)
+    def test_cases_really_are_invalid(self, value):
+        assert try_parse_range_header(value) is None
+
+    @pytest.mark.parametrize("vendor", all_vendor_names())
+    def test_ignored_through_every_vendor(self, vendor):
+        node = make_node(vendor, make_origin(2048), size_hint_fn=lambda p: 2048)
+        for index, value in enumerate(INVALID):
+            response = get(node, target=f"/file.bin?cb={index}", range_value=value)
+            assert response.status == 200, (vendor, value)
+            assert len(response.body) == 2048, (vendor, value)
+
+    def test_origin_ignores_them_directly(self):
+        origin = make_origin(2048)
+        for value in INVALID:
+            response = get(origin, range_value=value)
+            assert response.status == 200

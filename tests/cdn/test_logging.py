@@ -1,0 +1,34 @@
+"""Tests for pipeline debug logging."""
+
+import logging
+
+from tests.conftest import get, make_node, make_origin
+
+
+class TestNodeLogging:
+    def test_upstream_forward_logged(self, caplog):
+        node = make_node("gcore", make_origin(1000))
+        with caplog.at_level(logging.DEBUG, logger="repro.cdn.node"):
+            get(node, range_value="bytes=0-0")
+        messages = " | ".join(record.message for record in caplog.records)
+        assert "gcore -> upstream GET /file.bin" in messages
+        assert "forward:deletion" in messages
+
+    def test_cache_hit_logged(self, caplog):
+        node = make_node("gcore", make_origin(1000))
+        get(node, range_value="bytes=0-0")
+        with caplog.at_level(logging.DEBUG, logger="repro.cdn.node"):
+            get(node, range_value="bytes=0-0")
+        assert any("cache hit" in record.message for record in caplog.records)
+
+    def test_rejection_logged(self, caplog):
+        node = make_node("akamai", make_origin(1000))
+        with caplog.at_level(logging.DEBUG, logger="repro.cdn.node"):
+            get(node, range_value="bytes=" + "0-," * 20000 + "0-")
+        assert any("rejected" in record.message for record in caplog.records)
+
+    def test_silent_by_default(self, caplog):
+        node = make_node("gcore", make_origin(1000))
+        with caplog.at_level(logging.INFO, logger="repro.cdn.node"):
+            get(node, range_value="bytes=0-0")
+        assert not caplog.records

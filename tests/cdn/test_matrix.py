@@ -1,0 +1,86 @@
+"""Tests for the vendor behavior matrix — including the cross-check
+against the feasibility experiment's independent measurement path."""
+
+import pytest
+
+from repro.cdn.policy import ForwardPolicy
+from repro.cdn.vendors import all_vendor_names
+from repro.cdn.vendors.matrix import (
+    PROBE_CASES,
+    behavior_matrix,
+    obr_frontend_vendors,
+    sbr_vulnerable_vendors,
+    stateful_second_request_policies,
+)
+from repro.reporting.paper_values import PAPER_OBR_FRONTENDS, PAPER_SBR_VULNERABLE
+
+
+class TestMatrixStructure:
+    def test_full_coverage(self):
+        matrix = behavior_matrix()
+        assert set(matrix) == set(all_vendor_names())
+        for row in matrix.values():
+            assert set(row) == set(PROBE_CASES)
+
+    def test_deterministic(self):
+        assert behavior_matrix() == behavior_matrix()
+
+
+class TestPaperMembershipFromMatrix:
+    def test_sbr_vulnerable_matches_table1(self):
+        assert sbr_vulnerable_vendors() == tuple(sorted(PAPER_SBR_VULNERABLE))
+
+    def test_obr_frontends_match_table2(self):
+        assert obr_frontend_vendors() == tuple(sorted(PAPER_OBR_FRONTENDS))
+
+    def test_obr_frontends_without_bypass_excludes_cloudflare(self):
+        assert "cloudflare" not in obr_frontend_vendors(include_bypass=False)
+
+
+class TestSpotChecks:
+    def test_azure_size_dependence_visible(self):
+        matrix = behavior_matrix()
+        azure = matrix["azure"]
+        # Azure deletes in both regimes (the dual-connection behavior is
+        # a fetch-flow detail, not a decision-table one).
+        assert azure["first-last (small file)"].policy is ForwardPolicy.DELETION
+
+    def test_huawei_size_dependence_visible(self):
+        huawei = behavior_matrix()["huawei"]
+        assert huawei["-suffix (small file)"].policy is ForwardPolicy.DELETION
+        assert huawei["-suffix (large file)"].policy is ForwardPolicy.LAZINESS
+        assert huawei["first-last (large file)"].policy is ForwardPolicy.DELETION
+        assert huawei["first-last (small file)"].policy is ForwardPolicy.LAZINESS
+
+    def test_cloudfront_expansion_values(self):
+        cloudfront = behavior_matrix()["cloudfront"]
+        cell = cloudfront["first-last (small file)"]
+        assert cell.policy is ForwardPolicy.EXPANSION
+        assert cell.forwarded_range == "bytes=0-1048575"
+
+    def test_keycdn_stateful_quirk(self):
+        second = stateful_second_request_policies()
+        assert second["keycdn"] is ForwardPolicy.DELETION
+        # Stateless vendors give the same answer twice.
+        assert second["gcore"] is ForwardPolicy.DELETION
+        assert second["tencent"] is ForwardPolicy.DELETION
+
+
+class TestCrossValidationAgainstFeasibility:
+    """The matrix (decision-level) and the feasibility probe
+    (traffic-level) must classify identically — two measurement paths,
+    one truth."""
+
+    @pytest.fixture(scope="class")
+    def feasibility(self):
+        from repro.core.feasibility import survey
+
+        return survey(file_size=16 * 1024)
+
+    def test_sbr_membership_agrees(self, feasibility):
+        from_probe = {v for v, r in feasibility.items() if r.sbr_vulnerable}
+        assert from_probe == set(sbr_vulnerable_vendors())
+
+    def test_fcdn_membership_agrees(self, feasibility):
+        from_probe = {v for v, r in feasibility.items() if r.obr_fcdn_vulnerable}
+        assert from_probe == set(obr_frontend_vendors())

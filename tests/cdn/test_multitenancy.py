@@ -1,0 +1,70 @@
+"""Multi-tenant isolation: one edge, many customer hosts.
+
+A CDN edge serves many customers; cache entries and attack traffic must
+stay per-tenant.  The OBR threat model depends on this working — the
+attacker is "a malicious customer" whose configuration must not leak
+onto other tenants.
+"""
+
+from repro.cdn.node import CdnNode
+from repro.cdn.vendors import create_profile
+from repro.http.message import HttpRequest
+from repro.netsim.tap import CDN_ORIGIN, TrafficLedger
+from repro.origin.resource import Resource
+from repro.origin.server import OriginServer
+
+
+def _multi_tenant_origin():
+    """One origin standing in for two tenants' back-ends."""
+    origin = OriginServer()
+    origin.add_resource(Resource(path="/a.bin", body=b"tenant-a" * 100))
+    origin.add_resource(Resource(path="/b.bin", body=b"tenant-b" * 100))
+    return origin
+
+
+def _get(node, host, target):
+    return node.handle(
+        HttpRequest("GET", target, headers=[("Host", host)])
+    )
+
+
+class TestCacheIsolation:
+    def test_same_path_different_hosts_cached_separately(self):
+        origin = OriginServer()
+        origin.add_resource(Resource(path="/logo.png", body=b"shared-path" * 10))
+        node = CdnNode(create_profile("gcore"), origin, ledger=TrafficLedger())
+        _get(node, "tenant-a.example", "/logo.png")
+        _get(node, "tenant-b.example", "/logo.png")
+        # Two cache entries, two origin fetches: no cross-tenant reuse.
+        assert len(node.cache) == 2
+        assert node.ledger.segment_stats(CDN_ORIGIN).exchange_count == 2
+
+    def test_tenant_hit_does_not_serve_other_tenant(self):
+        node = CdnNode(create_profile("gcore"), _multi_tenant_origin(), ledger=TrafficLedger())
+        a = _get(node, "a.example", "/a.bin")
+        b = _get(node, "b.example", "/b.bin")
+        assert a.body.materialize() != b.body.materialize()
+        # Repeat hits return each tenant's own bytes.
+        assert _get(node, "a.example", "/a.bin").body.materialize() == a.body.materialize()
+
+
+class TestAttackBlastRadius:
+    def test_attack_on_one_tenant_leaves_the_others_cache_warm(self):
+        origin = _multi_tenant_origin()
+        node = CdnNode(create_profile("gcore"), origin, ledger=TrafficLedger())
+        # Tenant B's object gets cached by normal traffic.
+        _get(node, "b.example", "/b.bin")
+        fetches_before = node.ledger.segment_stats(CDN_ORIGIN).exchange_count
+        # Attacker hammers tenant A with cache-busted SBR requests.
+        for index in range(20):
+            node.handle(
+                HttpRequest(
+                    "GET",
+                    f"/a.bin?cb={index}",
+                    headers=[("Host", "a.example"), ("Range", "bytes=0-0")],
+                )
+            )
+        # Tenant B is still served from cache.
+        _get(node, "b.example", "/b.bin")
+        fetches_after = node.ledger.segment_stats(CDN_ORIGIN).exchange_count
+        assert fetches_after == fetches_before + 20  # only the attack fetched

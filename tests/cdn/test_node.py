@@ -1,0 +1,146 @@
+"""Unit tests for the CDN node pipeline (vendor-independent behavior).
+
+These use the G-Core profile (plain Deletion, coalescing replies, no
+special flows) as the "generic CDN" and Akamai/StackPath for the
+honor-overlap paths.
+"""
+
+import pytest
+
+from repro.cdn.cache import CdnCache
+from repro.cdn.vendors.base import VendorConfig
+from repro.http.multipart import MultipartByteranges
+from repro.netsim.tap import CDN_ORIGIN
+
+from tests.conftest import get, make_node, make_origin
+
+
+class TestBasicProxying:
+    def test_plain_request_proxied(self):
+        node = make_node("gcore", make_origin(1000))
+        response = get(node)
+        assert response.status == 200
+        assert len(response.body) == 1000
+        assert response.headers.get("Server") == "nginx"
+
+    def test_404_relayed(self):
+        node = make_node("gcore", make_origin(1000))
+        response = get(node, target="/missing.bin")
+        assert response.status == 404
+
+    def test_response_advertises_ranges_even_if_origin_does_not(self):
+        """Paper §III-B: all 13 CDNs answer 206 with Accept-Ranges even
+        when the origin has range support disabled."""
+        node = make_node("gcore", make_origin(1000, range_support=False))
+        response = get(node, range_value="bytes=0-0")
+        assert response.status == 206
+        assert response.headers.get("Accept-Ranges") == "bytes"
+        assert len(response.body) == 1
+
+    def test_origin_validators_relayed(self):
+        origin = make_origin(1000)
+        node = make_node("gcore", origin)
+        response = get(node)
+        direct = get(origin)
+        assert response.headers.get("ETag") == direct.headers.get("ETag")
+        assert response.headers.get("Last-Modified") == direct.headers.get("Last-Modified")
+
+
+class TestRangeServing:
+    def test_single_range_served_from_full_fetch(self):
+        origin = make_origin(1000)
+        node = make_node("gcore", origin)
+        response = get(node, range_value="bytes=10-19")
+        assert response.status == 206
+        assert response.headers.get("Content-Range") == "bytes 10-19/1000"
+        direct = get(origin).body.materialize()
+        assert response.body.materialize() == direct[10:20]
+
+    def test_416_for_out_of_bounds(self):
+        node = make_node("gcore", make_origin(1000))
+        response = get(node, range_value="bytes=5000-")
+        assert response.status == 416
+        assert response.headers.get("Content-Range") == "bytes */1000"
+
+    def test_multirange_coalesced_by_default(self):
+        node = make_node("gcore", make_origin(1000))
+        response = get(node, range_value="bytes=0-,0-,0-")
+        assert response.status == 206
+        # Coalesced to one part: a single-part 206, not multipart.
+        assert response.headers.get("Content-Range") == "bytes 0-999/1000"
+
+    def test_disjoint_multirange_multipart(self):
+        node = make_node("akamai", make_origin(1000))
+        response = get(node, range_value="bytes=0-1,10-19")
+        assert response.status == 206
+        assert response.content_type.startswith("multipart/byteranges")
+        boundary = response.content_type.split("boundary=")[1]
+        parsed = MultipartByteranges.parse(response.body.materialize(), boundary)
+        assert len(parsed) == 2
+
+    def test_honor_behavior_duplicates_overlaps(self):
+        node = make_node("akamai", make_origin(1000))
+        response = get(node, range_value="bytes=0-,0-,0-")
+        assert response.status == 206
+        assert len(response.body) > 3000  # three full copies plus framing
+
+    def test_malformed_range_served_full(self):
+        node = make_node("gcore", make_origin(1000))
+        response = get(node, range_value="bytes=banana")
+        assert response.status == 200
+        assert len(response.body) == 1000
+
+
+class TestCacheIntegration:
+    def test_second_fetch_hits_cache(self):
+        origin = make_origin(1000)
+        node = make_node("gcore", origin)
+        get(node, range_value="bytes=0-0")
+        before = node.ledger.segment_stats(CDN_ORIGIN).exchange_count
+        get(node, range_value="bytes=0-0")
+        after = node.ledger.segment_stats(CDN_ORIGIN).exchange_count
+        assert after == before  # served from cache, no new origin fetch
+
+    def test_cache_busting_forces_refetch(self):
+        node = make_node("gcore", make_origin(1000))
+        get(node, target="/file.bin?cb=0", range_value="bytes=0-0")
+        get(node, target="/file.bin?cb=1", range_value="bytes=0-0")
+        assert node.ledger.segment_stats(CDN_ORIGIN).exchange_count == 2
+
+    def test_cache_disabled_by_config(self):
+        node = make_node(
+            "gcore", make_origin(1000), config=VendorConfig(cache_enabled=False)
+        )
+        get(node, range_value="bytes=0-0")
+        get(node, range_value="bytes=0-0")
+        assert node.ledger.segment_stats(CDN_ORIGIN).exchange_count == 2
+
+    def test_explicit_cache_object_used(self):
+        cache = CdnCache()
+        node = make_node("gcore", make_origin(1000), cache=cache)
+        get(node)
+        assert len(cache) == 1
+
+
+class TestLimitsIntegration:
+    def test_oversized_request_rejected_without_forwarding(self):
+        node = make_node("akamai", make_origin(1000))  # 32 KB total limit
+        response = get(node, range_value="bytes=" + "0-," * 20000 + "0-")
+        assert response.status == 431
+        assert node.ledger.segment_stats(CDN_ORIGIN).exchange_count == 0
+
+
+class TestTrafficAccounting:
+    def test_deletion_pulls_full_resource(self):
+        node = make_node("gcore", make_origin(100_000))
+        response = get(node, range_value="bytes=0-0")
+        origin_bytes = node.ledger.segment_stats(CDN_ORIGIN).response_bytes_delivered
+        assert origin_bytes > 100_000
+        assert response.wire_size() < 1000
+
+    def test_origin_receives_no_range_header_under_deletion(self):
+        origin = make_origin(1000)
+        node = make_node("gcore", origin)
+        get(node, range_value="bytes=0-0")
+        assert origin.stats.full_responses == 1
+        assert origin.stats.partial_responses == 0

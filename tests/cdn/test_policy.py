@@ -1,0 +1,80 @@
+"""Unit tests for forwarding policies and expansion arithmetic."""
+
+import pytest
+
+from repro.cdn.policy import (
+    ForwardDecision,
+    ForwardPolicy,
+    bounded_expansion,
+    mb_aligned_expansion,
+)
+
+MB = 1 << 20
+
+
+class TestForwardDecision:
+    def test_lazy_keeps_value(self):
+        decision = ForwardDecision.lazy("bytes=0-0")
+        assert decision.policy is ForwardPolicy.LAZINESS
+        assert decision.forwarded_range == "bytes=0-0"
+
+    def test_delete_drops_value(self):
+        decision = ForwardDecision.delete()
+        assert decision.policy is ForwardPolicy.DELETION
+        assert decision.forwarded_range is None
+
+    def test_expand_sets_value(self):
+        decision = ForwardDecision.expand("bytes=0-1048575")
+        assert decision.policy is ForwardPolicy.EXPANSION
+        assert decision.forwarded_range == "bytes=0-1048575"
+
+
+class TestMbAlignedExpansion:
+    """The paper's CloudFront arithmetic (§V-A item 3)."""
+
+    def test_paper_example_zero_range(self):
+        assert mb_aligned_expansion(0, 0) == (0, MB - 1)
+
+    def test_paper_example_multi_range_cover(self):
+        # "Range: bytes=0-0,9437184-9437184" becomes "bytes=0-10485759".
+        assert mb_aligned_expansion(0, 9437184, cap=10 * MB) == (0, 10 * MB - 1)
+
+    def test_alignment_of_interior_range(self):
+        first, last = mb_aligned_expansion(1_500_000, 1_600_000)
+        assert first == MB
+        assert last == 2 * MB - 1
+
+    def test_range_on_boundary(self):
+        assert mb_aligned_expansion(MB, 2 * MB - 1) == (MB, 2 * MB - 1)
+
+    def test_cap_exceeded_returns_none(self):
+        assert mb_aligned_expansion(0, 10 * MB, cap=10 * MB) is None
+
+    def test_cap_none_is_unbounded(self):
+        assert mb_aligned_expansion(0, 100 * MB, cap=None) is not None
+
+    def test_result_always_covers_input(self):
+        for first, last in [(0, 0), (123, 456), (MB - 1, MB), (5 * MB, 7 * MB)]:
+            expanded = mb_aligned_expansion(first, last, cap=None)
+            assert expanded is not None
+            assert expanded[0] <= first and last <= expanded[1]
+            assert expanded[0] % MB == 0
+            assert (expanded[1] + 1) % MB == 0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            mb_aligned_expansion(5, 3)
+        with pytest.raises(ValueError):
+            mb_aligned_expansion(-1, 3)
+
+
+class TestBoundedExpansion:
+    def test_default_slack(self):
+        assert bounded_expansion(100, 200) == (100, 200 + 8 * 1024)
+
+    def test_custom_slack(self):
+        assert bounded_expansion(0, 0, slack=16) == (0, 16)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_expansion(5, 3)

@@ -1,0 +1,194 @@
+"""Integration tests for the vendors with multi-connection fetch flows:
+Azure (8 MB cut + expansion window), StackPath (re-forward after 206),
+KeyCDN (second-request deletion), and the Table III reply behaviors.
+"""
+
+import pytest
+
+from repro.cdn.vendors.azure import DEFAULT_ABORT_SLOP, EIGHT_MB
+from repro.netsim.tap import CDN_ORIGIN
+
+from tests.conftest import get, make_node, make_origin
+
+MB = 1 << 20
+
+
+class TestAzureFlow:
+    """Paper §V-A item 2."""
+
+    def test_small_file_single_deletion_connection(self):
+        origin = make_origin(1 * MB)
+        node = make_node("azure", origin)
+        response = get(node, range_value="bytes=0-0")
+        assert response.status == 206
+        stats = node.ledger.segment_stats(CDN_ORIGIN)
+        assert stats.connection_count == 1
+        assert stats.response_bytes_delivered == pytest.approx(1 * MB, rel=0.01)
+
+    def test_large_file_first_connection_cut_past_8mb(self):
+        origin = make_origin(25 * MB)
+        node = make_node("azure", origin)
+        response = get(node, range_value="bytes=0-0")
+        assert response.status == 206
+        stats = node.ledger.segment_stats(CDN_ORIGIN)
+        assert stats.connection_count == 1
+        # Origin pushed ~8 MB + slop, not 25 MB.
+        assert stats.response_bytes_delivered <= EIGHT_MB + DEFAULT_ABORT_SLOP + 2048
+        assert stats.response_bytes_delivered >= EIGHT_MB
+
+    def test_second_window_range_opens_two_connections(self):
+        """The paper's F > 8MB exploited case: bytes=8388608-8388608."""
+        origin = make_origin(25 * MB)
+        node = make_node("azure", origin)
+        response = get(node, range_value="bytes=8388608-8388608")
+        assert response.status == 206
+        assert len(response.body) == 1
+        assert response.headers.get("Content-Range") == f"bytes 8388608-8388608/{25 * MB}"
+        stats = node.ledger.segment_stats(CDN_ORIGIN)
+        assert stats.connection_count == 2
+        # Both connections moved ~8 MB: ~16 MB total, the Fig 6a plateau.
+        assert stats.response_bytes_delivered == pytest.approx(16 * MB, rel=0.02)
+
+    def test_origin_receives_expansion_range_on_second_connection(self):
+        origin = make_origin(25 * MB)
+        node = make_node("azure", origin)
+        get(node, range_value="bytes=8388608-8388608")
+        assert origin.stats.partial_responses == 1  # the bytes=8388608-16777215 fetch
+        assert origin.stats.full_responses == 1     # the cut deletion fetch
+
+    def test_origin_traffic_capped_for_huge_files(self):
+        """Resources beyond 16 MB do not increase Azure's pull."""
+        for size in (17 * MB, 25 * MB):
+            node = make_node("azure", make_origin(size))
+            get(node, range_value="bytes=8388608-8388608")
+            delivered = node.ledger.segment_stats(CDN_ORIGIN).response_bytes_delivered
+            assert delivered == pytest.approx(16 * MB, rel=0.02)
+
+    def test_range_count_limit(self):
+        node = make_node("azure", make_origin(1000, range_support=False))
+        ok = get(node, range_value="bytes=" + ",".join(["0-"] * 64))
+        too_many = get(node, target="/file.bin?cb=1", range_value="bytes=" + ",".join(["0-"] * 65))
+        assert ok.status == 206
+        assert too_many.status == 416
+
+    def test_honors_64_overlapping_parts(self):
+        node = make_node("azure", make_origin(1000, range_support=False))
+        response = get(node, range_value="bytes=" + ",".join(["0-"] * 64))
+        assert response.status == 206
+        assert len(response.body) > 64 * 1000
+
+    def test_abort_slop_is_configurable(self):
+        """The "a little larger than 8MB" margin is a knob."""
+        from repro.cdn.node import CdnNode
+        from repro.cdn.vendors.azure import AzureProfile
+        from repro.netsim.tap import TrafficLedger
+
+        tight = CdnNode(
+            AzureProfile(abort_slop=1024), make_origin(25 * MB),
+            ledger=TrafficLedger(),
+        )
+        loose = CdnNode(
+            AzureProfile(abort_slop=1024 * 1024), make_origin(25 * MB),
+            ledger=TrafficLedger(),
+        )
+        get(tight, range_value="bytes=0-0")
+        get(loose, range_value="bytes=0-0")
+        tight_bytes = tight.ledger.segment_stats(CDN_ORIGIN).response_bytes_delivered
+        loose_bytes = loose.ledger.segment_stats(CDN_ORIGIN).response_bytes_delivered
+        assert loose_bytes - tight_bytes == pytest.approx(1024 * 1024 - 1024, abs=10)
+
+
+class TestStackpathFlow:
+    """Paper §V-A item 5."""
+
+    def test_206_triggers_refetch_without_range(self):
+        origin = make_origin(100_000)
+        node = make_node("stackpath", origin)
+        response = get(node, range_value="bytes=0-0")
+        assert response.status == 206
+        assert len(response.body) == 1
+        # Two upstream connections: lazy 206, then full 200.
+        stats = node.ledger.segment_stats(CDN_ORIGIN)
+        assert stats.connection_count == 2
+        assert origin.stats.partial_responses == 1
+        assert origin.stats.full_responses == 1
+        assert stats.response_bytes_delivered > 100_000
+
+    def test_refetch_resource_cached(self):
+        origin = make_origin(100_000)
+        node = make_node("stackpath", origin)
+        get(node, range_value="bytes=0-0")
+        get(node, range_value="bytes=5-9")
+        # Second request served from cache: still only the two initial
+        # origin exchanges.
+        assert node.ledger.segment_stats(CDN_ORIGIN).exchange_count == 2
+
+    def test_origin_200_no_refetch(self):
+        origin = make_origin(100_000, range_support=False)
+        node = make_node("stackpath", origin)
+        response = get(node, range_value="bytes=0-0")
+        assert response.status == 206
+        assert node.ledger.segment_stats(CDN_ORIGIN).connection_count == 1
+
+    def test_multirange_relayed_without_refetch(self):
+        """Table II/V: multi-range requests do not trigger the second
+        deletion fetch (a single back-end exchange in Table V)."""
+        origin = make_origin(1000)  # range support ON: origin downgrades
+        node = make_node("stackpath", origin)
+        response = get(node, range_value="bytes=0-,0-,0-")
+        # Apache downgrades overlapping multi-range to 200; StackPath then
+        # serves the ranges itself (honor behavior).
+        assert response.status == 206
+        assert node.ledger.segment_stats(CDN_ORIGIN).connection_count == 1
+
+    def test_honors_overlapping_parts(self):
+        node = make_node("stackpath", make_origin(1000, range_support=False))
+        response = get(node, range_value="bytes=0-,0-,0-,0-")
+        assert response.status == 206
+        assert len(response.body) > 4000
+
+
+class TestKeycdnFlow:
+    """Paper §V-A item 4, end to end."""
+
+    def test_two_identical_requests_trigger_amplification(self):
+        origin = make_origin(100_000)
+        node = make_node("keycdn", origin)
+        first = get(node, range_value="bytes=0-0")
+        second = get(node, range_value="bytes=0-0")
+        assert first.status == 206 and second.status == 206
+        assert len(first.body) == 1 and len(second.body) == 1
+        # First exchange was lazy (origin 206), second deletion (200 full).
+        assert origin.stats.partial_responses == 1
+        assert origin.stats.full_responses == 1
+        assert node.ledger.segment_stats(CDN_ORIGIN).response_bytes_delivered > 100_000
+
+    def test_single_request_does_not_amplify(self):
+        origin = make_origin(100_000)
+        node = make_node("keycdn", origin)
+        get(node, range_value="bytes=0-0")
+        assert node.ledger.segment_stats(CDN_ORIGIN).response_bytes_delivered < 2000
+
+
+class TestAkamaiReply:
+    def test_n_part_overlapping_response(self):
+        node = make_node("akamai", make_origin(1024, range_support=False))
+        n = 16
+        response = get(node, range_value="bytes=" + ",".join(["0-"] * n))
+        assert response.status == 206
+        assert response.content_type.startswith("multipart/byteranges")
+        assert len(response.body) > n * 1024
+
+
+class TestCoalescingVendorsReply:
+    @pytest.mark.parametrize(
+        "vendor", ["alibaba", "cdn77", "cdnsun", "cloudflare", "cloudfront",
+                   "fastly", "gcore", "huawei", "keycdn", "tencent"]
+    )
+    def test_overlapping_multirange_coalesced(self, vendor):
+        """Vendors absent from Table III must not amplify as BCDNs."""
+        node = make_node(vendor, make_origin(1024, range_support=False))
+        response = get(node, range_value="bytes=0-,0-,0-,0-")
+        # Coalesced to a single range: response is roughly one resource.
+        assert response.status in (200, 206)
+        assert len(response.body) < 2 * 1024 + 1000

@@ -1,0 +1,71 @@
+"""Unit tests for the content window."""
+
+import pytest
+
+from repro.cdn.window import ContentWindow
+from repro.http.body import BytesBody, SyntheticBody
+from repro.http.ranges import ResolvedRange
+
+
+class TestConstruction:
+    def test_full_window(self):
+        window = ContentWindow.full(BytesBody(b"abcdef"))
+        assert window.is_full
+        assert window.offset == 0
+        assert window.complete_length == 6
+        assert window.end == 6
+
+    def test_partial_window(self):
+        window = ContentWindow(body=BytesBody(b"cd"), offset=2, complete_length=6)
+        assert not window.is_full
+        assert window.end == 4
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            ContentWindow(body=BytesBody(b"x"), offset=-1, complete_length=5)
+
+    def test_window_past_end_rejected(self):
+        with pytest.raises(ValueError):
+            ContentWindow(body=BytesBody(b"abc"), offset=4, complete_length=5)
+
+
+class TestCoverage:
+    def test_covers(self):
+        window = ContentWindow(body=BytesBody(b"cdef"), offset=2, complete_length=10)
+        assert window.covers(ResolvedRange(2, 5))
+        assert window.covers(ResolvedRange(3, 4))
+        assert not window.covers(ResolvedRange(1, 3))
+        assert not window.covers(ResolvedRange(5, 6))
+
+    def test_full_window_covers_everything_in_bounds(self):
+        window = ContentWindow.full(SyntheticBody(100))
+        assert window.covers(ResolvedRange(0, 99))
+        assert not window.covers(ResolvedRange(0, 100))
+
+
+class TestSlicing:
+    def test_slice_range_full_window(self):
+        window = ContentWindow.full(BytesBody(b"0123456789"))
+        assert window.slice_range(ResolvedRange(3, 6)).materialize() == b"3456"
+
+    def test_slice_range_offset_window(self):
+        # Window holds bytes [4, 8) of a 10-byte representation.
+        window = ContentWindow(body=BytesBody(b"4567"), offset=4, complete_length=10)
+        assert window.slice_range(ResolvedRange(5, 6)).materialize() == b"56"
+
+    def test_slice_uncovered_raises(self):
+        window = ContentWindow(body=BytesBody(b"45"), offset=4, complete_length=10)
+        with pytest.raises(ValueError):
+            window.slice_range(ResolvedRange(0, 0))
+
+    def test_azure_style_second_window(self):
+        """The Azure expansion window: bytes [8M, 16M) of a 25 MB file."""
+        eight_mb = 8 * 1024 * 1024
+        window = ContentWindow(
+            body=SyntheticBody(eight_mb),
+            offset=eight_mb,
+            complete_length=25 * 1024 * 1024,
+        )
+        assert window.covers(ResolvedRange(eight_mb, eight_mb))
+        assert not window.covers(ResolvedRange(0, 0))
+        assert len(window.slice_range(ResolvedRange(eight_mb, eight_mb))) == 1

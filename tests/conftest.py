@@ -1,0 +1,52 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.cdn.node import CdnNode
+from repro.cdn.vendors import create_profile
+from repro.http.message import HttpRequest
+from repro.netsim.tap import TrafficLedger
+from repro.origin.server import OriginServer
+
+
+def make_origin(
+    size: int = 1000,
+    path: str = "/file.bin",
+    range_support: bool = True,
+) -> OriginServer:
+    """An origin serving one synthetic resource."""
+    origin = OriginServer(range_support=range_support)
+    origin.add_synthetic_resource(path, size)
+    return origin
+
+
+def make_node(vendor: str, origin: OriginServer, **kwargs) -> CdnNode:
+    """A single CDN node in front of ``origin`` with its own ledger."""
+    profile = create_profile(vendor)
+    kwargs.setdefault("ledger", TrafficLedger())
+    kwargs.setdefault("size_hint_fn", lambda p: _size_of(origin, p))
+    return CdnNode(profile, origin, **kwargs)
+
+
+def _size_of(origin: OriginServer, path: str) -> Optional[int]:
+    try:
+        return origin.store.get(path).size
+    except Exception:
+        return None
+
+
+def get(handler, target="/file.bin", range_value=None, host="victim.example"):
+    """Send one GET straight at a handler (no client-side accounting)."""
+    headers = [("Host", host)]
+    if range_value is not None:
+        headers.append(("Range", range_value))
+    return handler.handle(HttpRequest("GET", target, headers=headers))
+
+
+@pytest.fixture
+def origin_1k() -> OriginServer:
+    return make_origin(size=1000)

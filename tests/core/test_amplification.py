@@ -1,0 +1,62 @@
+"""Unit tests for amplification accounting."""
+
+from repro.core.amplification import AmplificationReport
+from repro.http.message import HttpRequest, HttpResponse
+from repro.netsim.tap import CDN_ORIGIN, CLIENT_CDN, TrafficLedger
+
+
+def _exchange(ledger, segment, body_size, cap=None):
+    connection = ledger.open_connection(segment)
+    request = HttpRequest("GET", "/x", headers=[("Host", "h")])
+    response = HttpResponse(200, body=body_size)
+    connection.exchange(request, response, deliver_cap=cap)
+
+
+class TestReport:
+    def test_factor_from_segments(self):
+        ledger = TrafficLedger()
+        _exchange(ledger, CLIENT_CDN, 100)
+        _exchange(ledger, CDN_ORIGIN, 100_000)
+        report = AmplificationReport.from_ledger(
+            ledger, victim_segment=CDN_ORIGIN, attacker_segment=CLIENT_CDN
+        )
+        assert report.victim_bytes > 100_000
+        assert report.attacker_bytes < 1000
+        assert report.factor > 100
+
+    def test_delivered_bytes_used(self):
+        """Azure's cut connection: the victim only pushed what crossed."""
+        ledger = TrafficLedger()
+        _exchange(ledger, CLIENT_CDN, 100)
+        _exchange(ledger, CDN_ORIGIN, 1_000_000, cap=1000)
+        report = AmplificationReport.from_ledger(
+            ledger, victim_segment=CDN_ORIGIN, attacker_segment=CLIENT_CDN
+        )
+        assert report.victim_bytes == 1000
+
+    def test_missing_segments_yield_zero(self):
+        report = AmplificationReport.from_ledger(
+            TrafficLedger(), victim_segment=CDN_ORIGIN, attacker_segment=CLIENT_CDN
+        )
+        assert report.victim_bytes == 0
+        assert report.attacker_bytes == 0
+        assert report.factor == 0.0
+
+    def test_describe_mentions_both_segments(self):
+        ledger = TrafficLedger()
+        _exchange(ledger, CLIENT_CDN, 1)
+        _exchange(ledger, CDN_ORIGIN, 10)
+        report = AmplificationReport.from_ledger(
+            ledger, victim_segment=CDN_ORIGIN, attacker_segment=CLIENT_CDN
+        )
+        described = report.describe()
+        assert CDN_ORIGIN in described and CLIENT_CDN in described
+        assert "amplification" in described
+
+    def test_segments_snapshot_included(self):
+        ledger = TrafficLedger()
+        _exchange(ledger, CLIENT_CDN, 1)
+        report = AmplificationReport.from_ledger(
+            ledger, victim_segment=CDN_ORIGIN, attacker_segment=CLIENT_CDN
+        )
+        assert CLIENT_CDN in report.segments

@@ -1,0 +1,56 @@
+"""Unit tests for cache busting."""
+
+import pytest
+
+from repro.core.cachebusting import CacheBuster
+from repro.netsim.tap import CDN_ORIGIN
+from repro.core.deployment import Deployment
+
+from tests.conftest import make_origin
+
+
+class TestCacheBuster:
+    def test_values_never_repeat(self):
+        buster = CacheBuster()
+        seen = {buster.bust("/x") for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_appends_with_question_mark(self):
+        assert CacheBuster().bust("/x") == "/x?cb=0"
+
+    def test_appends_with_ampersand_when_query_present(self):
+        assert CacheBuster().bust("/x?v=1") == "/x?v=1&cb=0"
+
+    def test_custom_parameter(self):
+        assert CacheBuster(parameter="zz").bust("/x") == "/x?zz=0"
+
+    def test_invalid_parameter(self):
+        with pytest.raises(ValueError):
+            CacheBuster(parameter="")
+        with pytest.raises(ValueError):
+            CacheBuster(parameter="a=b")
+
+    def test_issued_counter(self):
+        buster = CacheBuster()
+        assert buster.issued == 0
+        buster.bust("/x")
+        buster.bust("/x")
+        assert buster.issued == 2
+
+
+class TestBustingDefeatsCache:
+    def test_every_busted_request_reaches_origin(self):
+        """The SBR premise (paper §II-A)."""
+        deployment = Deployment.single("gcore", make_origin(1000))
+        client = deployment.client()
+        buster = CacheBuster()
+        for _ in range(5):
+            client.get(buster.bust("/file.bin"), range_value="bytes=0-0")
+        assert deployment.ledger.segment_stats(CDN_ORIGIN).exchange_count == 5
+
+    def test_without_busting_cache_absorbs_repeats(self):
+        deployment = Deployment.single("gcore", make_origin(1000))
+        client = deployment.client()
+        for _ in range(5):
+            client.get("/file.bin", range_value="bytes=0-0")
+        assert deployment.ledger.segment_stats(CDN_ORIGIN).exchange_count == 1

@@ -1,0 +1,90 @@
+"""Longer CDN chains — an extension beyond the paper's two-CDN cascade.
+
+The paper cascades exactly two CDNs; nothing stops an attacker chaining
+more lazy hops in front of the amplifying back-end.  These tests verify
+the deployment machinery handles arbitrary chains and that the OBR
+amplification appears on *every* inter-CDN link downstream of the
+multipart expansion — each extra lazy hop duplicates the multi-megabyte
+response once more.
+"""
+
+import pytest
+
+from repro.cdn.vendors.base import VendorConfig
+from repro.core.deployment import CdnSpec, Deployment
+from repro.http.grammar import overlapping_open_ranges_value
+from repro.origin.server import OriginServer
+
+
+def _origin(size=1024):
+    origin = OriginServer(range_support=False)
+    origin.add_synthetic_resource("/1KB.bin", size)
+    return origin
+
+
+def _lazy(vendor="cloudflare"):
+    return CdnSpec(vendor=vendor, config=VendorConfig(bypass_cache=True))
+
+
+class TestThreeHopObr:
+    def test_multipart_relayed_across_two_lazy_hops(self):
+        deployment = Deployment(
+            _origin(), [_lazy("cloudflare"), _lazy("stackpath"), CdnSpec(vendor="akamai")]
+        )
+        n = 64
+        result = deployment.client().get(
+            "/1KB.bin",
+            range_value=overlapping_open_ranges_value(n),
+            abort_after=2048,
+        )
+        assert result.response.status == 206
+
+        # Segments: client-cdn, cdn1-cdn2, cdn2-cdn3, cdn-origin.
+        first_link = deployment.response_traffic("cdn1-cdn2")
+        second_link = deployment.response_traffic("cdn2-cdn3")
+        origin_link = deployment.response_traffic("cdn-origin")
+        # The n-part response crosses BOTH inter-CDN links.
+        assert second_link > n * 1024
+        assert first_link > n * 1024
+        assert origin_link < 3000
+        # Total amplified traffic is roughly twice the single-cascade case.
+        assert first_link == pytest.approx(second_link, rel=0.05)
+
+    def test_deleting_middle_hop_kills_the_chain(self):
+        """A Deletion CDN anywhere before the back-end strips the header."""
+        deployment = Deployment(
+            _origin(), [_lazy("cloudflare"), CdnSpec(vendor="gcore"), CdnSpec(vendor="akamai")]
+        )
+        result = deployment.client().get(
+            "/1KB.bin", range_value=overlapping_open_ranges_value(64)
+        )
+        # G-Core deleted the Range header; Akamai fetched the plain 1 KB;
+        # G-Core then serves the coalesced single range.
+        assert deployment.response_traffic("cdn2-cdn3") < 3000
+
+    def test_header_limits_compose_along_the_chain(self):
+        """The tightest limit on the path binds, wherever it sits."""
+        deployment = Deployment(
+            _origin(), [_lazy("stackpath"), _lazy("cdn77"), CdnSpec(vendor="akamai")]
+        )
+        # StackPath (81 KB total) admits what CDN77 (16 KB line) rejects.
+        value = overlapping_open_ranges_value(6000)  # ~18 KB line
+        result = deployment.client().get("/1KB.bin", range_value=value)
+        assert result.response.status == 431
+
+
+class TestChainDeploymentMechanics:
+    def test_four_hop_chain_builds_and_serves(self):
+        deployment = Deployment(
+            OriginServer(range_support=True) or _origin(),
+            ["gcore", "fastly", "tencent", "akamai"],
+        )
+        deployment.origin.add_synthetic_resource("/x.bin", 4096)
+        result = deployment.client().get("/x.bin", range_value="bytes=0-0")
+        assert result.response.status == 206
+        assert len(result.response.body) == 1
+
+    def test_segment_names_unique_per_hop(self):
+        deployment = Deployment(_origin(), ["gcore", "fastly", "tencent"])
+        names = [node.upstream_segment for node in deployment.nodes]
+        assert len(set(names)) == len(names)

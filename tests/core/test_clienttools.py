@@ -1,0 +1,146 @@
+"""Tests for the benign range clients (segmented download + resume)."""
+
+import pytest
+
+from repro.clienttools.downloader import (
+    DownloadError,
+    ResumingDownload,
+    SegmentedDownloader,
+)
+from repro.core.deployment import Deployment
+from repro.netsim.tap import CDN_ORIGIN
+from repro.origin.resource import Resource
+from repro.origin.server import OriginServer
+
+CONTENT = bytes((i * 13 + 5) % 256 for i in range(100_000))
+
+
+def _deployment(vendor="gcore", range_support=True):
+    origin = OriginServer(range_support=range_support)
+    origin.add_resource(Resource(path="/file.bin", body=CONTENT))
+    return Deployment.single(vendor, origin)
+
+
+class TestPlan:
+    def test_even_split(self):
+        downloader = SegmentedDownloader(_deployment(), segments=4)
+        plan = downloader.plan(100)
+        assert plan == [(0, 24), (25, 49), (50, 74), (75, 99)]
+
+    def test_uneven_split_covers_everything(self):
+        downloader = SegmentedDownloader(_deployment(), segments=3)
+        plan = downloader.plan(100)
+        assert plan[0][0] == 0
+        assert plan[-1][1] == 99
+        covered = sum(end - start + 1 for start, end in plan)
+        assert covered == 100
+        for (_, a_end), (b_start, _) in zip(plan, plan[1:]):
+            assert b_start == a_end + 1
+
+    def test_more_segments_than_bytes(self):
+        plan = SegmentedDownloader(_deployment(), segments=10).plan(3)
+        assert plan == [(0, 0), (1, 1), (2, 2)]
+
+    def test_empty_resource(self):
+        assert SegmentedDownloader(_deployment()).plan(0) == []
+
+    def test_invalid_segments(self):
+        with pytest.raises(ValueError):
+            SegmentedDownloader(_deployment(), segments=0)
+
+
+class TestSegmentedDownload:
+    @pytest.mark.parametrize("vendor", ["gcore", "cloudflare", "akamai", "stackpath"])
+    def test_round_trip_through_cdns(self, vendor):
+        deployment = _deployment(vendor)
+        report = SegmentedDownloader(deployment, segments=5).download("/file.bin")
+        assert report.content == CONTENT
+        assert report.total_length == len(CONTENT)
+        assert report.requests_sent == 6  # probe + 5 segments
+
+    def test_cdn_cache_absorbs_segments_after_first(self):
+        """With a Deletion CDN, the first fetch fills the cache; the
+        remaining segments are served locally."""
+        deployment = _deployment("gcore")
+        SegmentedDownloader(deployment, segments=8).download("/file.bin")
+        assert deployment.ledger.segment_stats(CDN_ORIGIN).exchange_count == 1
+
+    def test_overhead_ratio_reasonable(self):
+        report = SegmentedDownloader(_deployment(), segments=4).download("/file.bin")
+        assert 1.0 < report.overhead_ratio < 1.2
+
+    def test_missing_resource_fails_cleanly(self):
+        with pytest.raises(DownloadError):
+            SegmentedDownloader(_deployment()).download("/missing.bin")
+
+
+class TestResumingDownload:
+    def test_plain_sequential_download(self):
+        report = ResumingDownload(_deployment(), chunk_size=16 * 1024).download(
+            "/file.bin"
+        )
+        assert report.content == CONTENT
+        # probe + ceil(100000/16384) = 1 + 7 requests
+        assert report.requests_sent == 8
+
+    def test_interrupted_transfer_resumes_at_breakpoint(self):
+        report = ResumingDownload(_deployment(), chunk_size=50_000).download(
+            "/file.bin", interrupt_percent=0.4
+        )
+        assert report.content == CONTENT
+
+    @pytest.mark.parametrize("percent", [0.0, 0.5, 0.99])
+    def test_resume_at_any_breakpoint(self, percent):
+        report = ResumingDownload(_deployment(), chunk_size=100_000).download(
+            "/file.bin", interrupt_percent=percent
+        )
+        assert report.content == CONTENT
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            ResumingDownload(_deployment(), chunk_size=0)
+
+
+class TestHttp2Framing:
+    def test_frame_overhead(self):
+        from repro.netsim.overhead import Http2FramingModel
+
+        model = Http2FramingModel()
+        assert model.framed_size(0) == 0
+        assert model.framed_size(100) == 109
+        assert model.framed_size(16384) == 16384 + 9
+        assert model.framed_size(16385) == 16385 + 18
+        assert model.connection_setup_bytes() > 0
+
+    def test_sbr_amplification_carries_over_to_http2(self):
+        """Paper §VI-B: RangeAmp applies to HTTP/2 unchanged.
+
+        An attacker multiplexes many requests over one HTTP/2
+        connection, so the connection preface amortizes; with a reused
+        client connection, framing shifts the factor by only a couple of
+        percent.
+        """
+        from repro.core.cachebusting import CacheBuster
+        from repro.core.deployment import Deployment
+        from repro.netsim.overhead import Http2FramingModel
+        from repro.netsim.tap import CDN_ORIGIN, CLIENT_CDN
+
+        MB = 1 << 20
+
+        def factor(overhead):
+            origin = OriginServer()
+            origin.add_synthetic_resource("/big.bin", 10 * MB)
+            deployment = Deployment.single("akamai", origin, overhead=overhead)
+            client = deployment.client(reuse_connection=True)
+            buster = CacheBuster()
+            for _ in range(50):
+                client.get(buster.bust("/big.bin"), range_value="bytes=0-0")
+            return (
+                deployment.response_traffic(CDN_ORIGIN)
+                / deployment.response_traffic(CLIENT_CDN)
+            )
+
+        plain = factor(None)
+        framed = factor(Http2FramingModel())
+        assert framed == pytest.approx(plain, rel=0.03)
+        assert framed < plain  # framing can only help the defender, barely

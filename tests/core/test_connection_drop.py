@@ -1,0 +1,66 @@
+"""Tests for the prior-art connection-drop comparison (paper §VIII)."""
+
+import pytest
+
+from repro.cdn.vendors import all_vendor_names, create_profile
+from repro.core.connection_drop import ConnectionDropAttack, compare_with_sbr
+
+MB = 1 << 20
+
+
+class TestVendorAbortBehavior:
+    def test_paper_names_cdn77_and_cdnsun_as_maintaining(self):
+        maintaining = {
+            name
+            for name in all_vendor_names()
+            if create_profile(name).maintains_backend_on_client_abort
+        }
+        assert maintaining == {"cdn77", "cdnsun"}
+
+
+class TestConnectionDropAttack:
+    def test_defended_vendor_caps_origin_traffic(self):
+        result = ConnectionDropAttack("cloudflare", resource_size=10 * MB).run()
+        assert not result.backend_maintained
+        assert result.defended
+        # Only in-flight bytes crossed: orders of magnitude below 10 MB.
+        assert result.origin_traffic < 128 * 1024
+        assert result.amplification < 100
+
+    def test_maintaining_vendor_ships_everything(self):
+        result = ConnectionDropAttack("cdn77", resource_size=10 * MB).run()
+        assert result.backend_maintained
+        assert not result.defended
+        assert result.origin_traffic > 10 * MB
+        assert result.amplification > 1000
+
+    def test_client_pays_only_the_abort_prefix(self):
+        result = ConnectionDropAttack("cloudflare", abort_after=1500).run()
+        assert result.client_traffic == 1500
+
+    def test_inflight_knob(self):
+        small = ConnectionDropAttack(
+            "cloudflare", resource_size=10 * MB, inflight_bytes=8 * 1024
+        ).run()
+        large = ConnectionDropAttack(
+            "cloudflare", resource_size=10 * MB, inflight_bytes=256 * 1024
+        ).run()
+        assert small.origin_traffic < large.origin_traffic
+
+
+class TestDefenseComparison:
+    """The paper's §VIII argument: the abort defense does not stop SBR."""
+
+    @pytest.mark.parametrize("vendor", ["cloudflare", "akamai", "fastly", "tencent"])
+    def test_defense_bypassed_by_sbr(self, vendor):
+        comparison = compare_with_sbr(vendor, resource_size=10 * MB)
+        assert comparison.connection_drop.defended
+        assert comparison.sbr_amplification > 5000
+        assert comparison.defense_bypassed
+
+    def test_maintaining_vendor_vulnerable_to_both(self):
+        comparison = compare_with_sbr("cdn77", resource_size=10 * MB)
+        assert not comparison.connection_drop.defended
+        assert comparison.sbr_amplification > 5000
+        # defense_bypassed is specifically about the defense existing.
+        assert not comparison.defense_bypassed

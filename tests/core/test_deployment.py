@@ -1,0 +1,114 @@
+"""Unit tests for deployment wiring and the attacker client."""
+
+import pytest
+
+from repro.cdn.vendors import create_profile
+from repro.core.deployment import CdnSpec, Deployment, RecordingHandler
+from repro.errors import ConfigurationError
+from repro.netsim.overhead import TcpOverheadModel
+from repro.netsim.tap import BCDN_ORIGIN, CDN_ORIGIN, CLIENT_CDN, FCDN_BCDN
+
+from tests.conftest import make_origin
+
+
+class TestWiring:
+    def test_single_cdn_segments(self):
+        deployment = Deployment.single("gcore", make_origin())
+        assert deployment.client_segment == CLIENT_CDN
+        assert deployment.nodes[0].upstream_segment == CDN_ORIGIN
+
+    def test_cascade_segments(self):
+        deployment = Deployment.cascade("cloudflare", "akamai", make_origin())
+        assert [n.upstream_segment for n in deployment.nodes] == [FCDN_BCDN, BCDN_ORIGIN]
+        assert deployment.nodes[0].upstream is deployment.nodes[1]
+
+    def test_three_cdn_chain_gets_generated_names(self):
+        deployment = Deployment(make_origin(), ["gcore", "fastly", "akamai"])
+        assert [n.upstream_segment for n in deployment.nodes] == [
+            "cdn1-cdn2",
+            "cdn2-cdn3",
+            CDN_ORIGIN,
+        ]
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deployment(make_origin(), [])
+
+    def test_spec_accepts_prebuilt_profile(self):
+        profile = create_profile("gcore")
+        deployment = Deployment.single(CdnSpec(profile=profile), make_origin())
+        assert deployment.nodes[0].profile is profile
+
+    def test_spec_requires_exactly_one_source(self):
+        with pytest.raises(ConfigurationError):
+            Deployment.single(CdnSpec(), make_origin())
+        with pytest.raises(ConfigurationError):
+            Deployment.single(
+                CdnSpec(vendor="gcore", profile=create_profile("gcore")), make_origin()
+            )
+
+    def test_size_hint_wired_from_origin(self):
+        origin = make_origin(size=12345, path="/file.bin")
+        deployment = Deployment.single("gcore", origin)
+        assert deployment.nodes[0].size_hint_fn("/file.bin") == 12345
+        assert deployment.nodes[0].size_hint_fn("/missing") is None
+
+    def test_shared_ledger_across_nodes(self):
+        deployment = Deployment.cascade("cloudflare", "akamai", make_origin())
+        assert all(n.ledger is deployment.ledger for n in deployment.nodes)
+
+
+class TestRecordingHandler:
+    def test_records_copies(self):
+        origin = make_origin()
+        tap = RecordingHandler(origin)
+        deployment = Deployment.single("gcore", origin)
+        assert deployment.origin_tap is not None
+        client = deployment.client()
+        client.get("/file.bin", range_value="bytes=0-0")
+        # Deletion: the origin saw the request with no Range header.
+        assert deployment.origin_tap.range_values_seen == [None]
+
+    def test_clear(self):
+        origin = make_origin()
+        tap = RecordingHandler(origin)
+        tap.handle(
+            __import__("repro.http.message", fromlist=["HttpRequest"]).HttpRequest(
+                "GET", "/file.bin", headers=[("Host", "h")]
+            )
+        )
+        assert len(tap.requests) == 1
+        tap.clear()
+        assert tap.requests == []
+
+
+class TestClient:
+    def test_response_and_accounting(self):
+        deployment = Deployment.single("gcore", make_origin(1000))
+        client = deployment.client()
+        result = client.get("/file.bin", range_value="bytes=0-0")
+        assert result.response.status == 206
+        assert result.received_bytes == result.response.wire_size()
+        assert deployment.response_traffic(CLIENT_CDN) == result.received_bytes
+
+    def test_abort_caps_received_bytes(self):
+        deployment = Deployment.single("gcore", make_origin(100_000))
+        client = deployment.client()
+        result = client.get("/file.bin", abort_after=500)
+        assert result.received_bytes == 500
+        assert result.response.wire_size() > 100_000
+
+    def test_extra_headers_sent(self):
+        origin = make_origin()
+        deployment = Deployment.single("gcore", origin)
+        deployment.client().get("/file.bin", extra_headers=[("X-Probe", "1")])
+        assert deployment.origin_tap.requests[0].headers.get("X-Probe") == "1"
+
+    def test_overhead_model_applied_everywhere(self):
+        plain = Deployment.single("gcore", make_origin(1000))
+        framed = Deployment.single(
+            "gcore", make_origin(1000), overhead=TcpOverheadModel()
+        )
+        plain.client().get("/file.bin", range_value="bytes=0-0")
+        framed.client().get("/file.bin", range_value="bytes=0-0")
+        assert framed.response_traffic(CDN_ORIGIN) > plain.response_traffic(CDN_ORIGIN)

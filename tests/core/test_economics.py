@@ -1,0 +1,82 @@
+"""Tests for attack-economics estimates (paper §V-E)."""
+
+import pytest
+
+from repro.core.economics import (
+    BILLING_USD_PER_GB,
+    estimate_obr_campaign,
+    estimate_sbr_campaign,
+)
+
+MB = 1 << 20
+
+
+class TestBillingTable:
+    def test_all_13_vendors_priced(self):
+        from repro.cdn.vendors import all_vendor_names
+
+        assert set(BILLING_USD_PER_GB) == set(all_vendor_names())
+
+    def test_rates_plausible(self):
+        assert all(0.0 <= rate <= 1.0 for rate in BILLING_USD_PER_GB.values())
+
+
+class TestSbrCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return estimate_sbr_campaign(
+            "akamai",
+            resource_size=10 * MB,
+            requests_per_second=10.0,
+            duration_seconds=3600.0,
+        )
+
+    def test_totals(self, campaign):
+        assert campaign.total_requests == 36_000
+        # 36k requests x ~10.5 MB = ~377 GB of victim traffic.
+        assert campaign.victim_bytes == pytest.approx(36_000 * 10.49 * 1e6, rel=0.02)
+        assert campaign.attacker_bytes < campaign.victim_bytes / 10_000
+
+    def test_cost_uses_vendor_rate(self, campaign):
+        expected = campaign.victim_bytes / 1e9 * BILLING_USD_PER_GB["akamai"]
+        assert campaign.victim_cost_usd == pytest.approx(expected)
+        assert campaign.victim_cost_usd > 25  # a real bill for one hour
+
+    def test_bandwidth_projection(self, campaign):
+        # 10 req/s x ~84 Mbit = ~840 Mbps of origin egress.
+        assert campaign.victim_bandwidth_mbps == pytest.approx(840, rel=0.02)
+        assert campaign.attacker_bandwidth_mbps < 0.1
+
+    def test_saturating_rate_matches_fig7(self, campaign):
+        """Fig 7 found ~12 req/s pins a 1000 Mbps uplink."""
+        rate = campaign.saturating_rate(1000.0)
+        assert 11 <= rate <= 13
+
+    def test_rate_override(self):
+        campaign = estimate_sbr_campaign(
+            "cloudflare", resource_size=1 * MB, rate_usd_per_gb=1.0
+        )
+        assert campaign.rate_usd_per_gb == 1.0
+        assert campaign.victim_cost_usd == pytest.approx(campaign.victim_bytes / 1e9)
+
+    def test_flat_rate_vendor_costs_nothing_but_still_burns_bandwidth(self):
+        campaign = estimate_sbr_campaign("cloudflare", resource_size=10 * MB)
+        assert campaign.victim_cost_usd == 0.0
+        assert campaign.victim_bandwidth_mbps > 500
+
+
+class TestObrCampaign:
+    def test_inter_cdn_burn(self):
+        campaign = estimate_obr_campaign(
+            "cloudflare",
+            "akamai",
+            overlap_count=1000,
+            requests_per_second=5.0,
+            duration_seconds=60.0,
+        )
+        assert campaign.attack == "obr"
+        assert campaign.vendor == "cloudflare->akamai"
+        # 1000-part multipart of a 1 KB resource: ~1.2 MB per request.
+        assert campaign.victim_bytes_per_request == pytest.approx(1_190_000, rel=0.05)
+        assert campaign.victim_bandwidth_mbps > 40
+        assert campaign.attacker_bytes_per_request <= 2048

@@ -1,0 +1,112 @@
+"""Integration tests for the feasibility experiment (paper Tables I–III)."""
+
+import pytest
+
+from repro.core.feasibility import (
+    DELETION,
+    EXPANSION,
+    FeasibilityProbe,
+    LAZINESS,
+    survey,
+)
+from repro.http.grammar import RangeCase, RangeFormat
+from repro.reporting.paper_values import (
+    PAPER_OBR_BACKENDS,
+    PAPER_OBR_FRONTENDS,
+    PAPER_SBR_VULNERABLE,
+)
+
+
+def _case(value, fmt=RangeFormat.FIRST_LAST):
+    return RangeCase(fmt, value, "test case")
+
+
+class TestClassification:
+    def test_deletion_classified(self):
+        probe = FeasibilityProbe("akamai", corpus=[_case("bytes=0-0")])
+        observation = probe.observe_forwarding()[0]
+        assert DELETION in observation.policies
+        assert observation.amplifying
+
+    def test_laziness_classified(self):
+        probe = FeasibilityProbe("tencent", corpus=[_case("bytes=-1", RangeFormat.SUFFIX)])
+        observation = probe.observe_forwarding()[0]
+        assert observation.lazy_throughout
+        assert not observation.amplifying
+
+    def test_expansion_classified(self):
+        probe = FeasibilityProbe("cloudfront", corpus=[_case("bytes=0-0")])
+        observation = probe.observe_forwarding()[0]
+        assert EXPANSION in observation.policies
+        assert observation.amplifying
+
+    def test_keycdn_mixed_policies_across_sends(self):
+        probe = FeasibilityProbe("keycdn", corpus=[_case("bytes=0-0")])
+        observation = probe.observe_forwarding()[0]
+        # First send lazy, second send deleted.
+        assert observation.policies_per_send[0] == (LAZINESS,)
+        assert DELETION in observation.policies_per_send[1]
+        assert observation.amplifying
+
+    def test_stackpath_double_forward_visible(self):
+        probe = FeasibilityProbe("stackpath", corpus=[_case("bytes=0-0")])
+        observation = probe.observe_forwarding()[0]
+        # One client send produced two origin-side requests: lazy + deleted.
+        assert observation.forwarded_per_send[0] == ("bytes=0-0", None)
+
+
+class TestReplyProbe:
+    def test_akamai_honors_overlapping(self):
+        reply = FeasibilityProbe("akamai").observe_reply()
+        assert reply.honors_overlapping
+        assert reply.part_limit is None
+
+    def test_azure_honors_with_64_limit(self):
+        reply = FeasibilityProbe("azure").observe_reply()
+        assert reply.honors_overlapping
+        assert reply.part_limit == 64
+
+    def test_gcore_coalesces(self):
+        reply = FeasibilityProbe("gcore").observe_reply()
+        assert not reply.honors_overlapping
+
+
+class TestSurveyAgainstPaper:
+    """The full experiment-1 sweep must reproduce Table I/II/III
+    membership exactly."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return survey(file_size=16 * 1024)
+
+    def test_all_13_sbr_vulnerable(self, results):
+        vulnerable = {name for name, v in results.items() if v.sbr_vulnerable}
+        assert vulnerable == set(PAPER_SBR_VULNERABLE)
+
+    def test_obr_frontends_match_table2(self, results):
+        frontends = {name for name, v in results.items() if v.obr_fcdn_vulnerable}
+        assert frontends == set(PAPER_OBR_FRONTENDS)
+
+    def test_obr_backends_match_table3(self, results):
+        backends = {name for name, v in results.items() if v.obr_bcdn_vulnerable}
+        assert backends == set(PAPER_OBR_BACKENDS)
+
+    def test_amplifying_formats_reported(self, results):
+        assert results["akamai"].amplifying_formats()
+        formats = dict(results["akamai"].amplifying_formats())
+        assert formats.get("bytes=first-last") == DELETION
+
+    def test_cloudfront_reported_as_expansion(self, results):
+        formats = dict(results["cloudfront"].amplifying_formats())
+        assert EXPANSION in formats.values()
+
+    def test_lazy_multi_formats_for_frontends(self, results):
+        assert results["cdn77"].lazy_multi_formats()
+        assert results["cdnsun"].lazy_multi_formats()
+        assert results["cloudflare"].lazy_multi_formats()
+
+    def test_cloudflare_fcdn_verdict_is_conditional(self, results):
+        """Table II marks Cloudflare (*): lazy only under Bypass."""
+        assert results["cloudflare"].obr_fcdn_conditional
+        assert not results["cdn77"].obr_fcdn_conditional
+        assert not results["stackpath"].obr_fcdn_conditional

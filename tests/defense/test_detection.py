@@ -1,0 +1,94 @@
+"""Unit tests for the RangeAmp traffic detector."""
+
+from repro.core.cachebusting import CacheBuster
+from repro.defense.detection import RangeAmpDetector
+from repro.http.message import HttpRequest
+
+
+def _request(target, range_value=None):
+    headers = [("Host", "h")]
+    if range_value is not None:
+        headers.append(("Range", range_value))
+    return HttpRequest("GET", target, headers=headers)
+
+
+def _feed_sbr(detector, client, count=20):
+    buster = CacheBuster()
+    for _ in range(count):
+        detector.observe(client, _request(buster.bust("/big.bin"), "bytes=0-0"))
+
+
+class TestSbrPattern:
+    def test_attack_stream_flagged(self):
+        detector = RangeAmpDetector()
+        _feed_sbr(detector, "attacker")
+        verdict = detector.verdict("attacker")
+        assert verdict.suspicious
+        assert verdict.tiny_range_requests == 20
+        assert verdict.distinct_query_strings == 20
+        assert any("SBR" in reason for reason in verdict.reasons)
+
+    def test_below_threshold_not_flagged(self):
+        detector = RangeAmpDetector(tiny_range_threshold=50)
+        _feed_sbr(detector, "attacker", count=20)
+        assert not detector.verdict("attacker").suspicious
+
+    def test_tiny_ranges_without_busting_not_flagged(self):
+        """A video player re-requesting the same URL's first bytes is not
+        the SBR pattern (no cache busting)."""
+        detector = RangeAmpDetector()
+        for _ in range(20):
+            detector.observe("player", _request("/video.mp4", "bytes=0-1023"))
+        assert not detector.verdict("player").suspicious
+
+    def test_busting_without_tiny_ranges_not_flagged(self):
+        detector = RangeAmpDetector()
+        buster = CacheBuster()
+        for _ in range(20):
+            detector.observe("crawler", _request(buster.bust("/page.html")))
+        assert not detector.verdict("crawler").suspicious
+
+
+class TestObrPattern:
+    def test_single_overlapping_multirange_flagged(self):
+        detector = RangeAmpDetector()
+        detector.observe("attacker", _request("/1KB.bin", "bytes=0-,0-,0-"))
+        verdict = detector.verdict("attacker")
+        assert verdict.suspicious
+        assert verdict.overlapping_multirange_requests == 1
+        assert any("OBR" in reason for reason in verdict.reasons)
+
+    def test_disjoint_multirange_not_flagged(self):
+        detector = RangeAmpDetector()
+        detector.observe("client", _request("/file.bin", "bytes=0-4096,100000-104096"))
+        assert not detector.verdict("client").suspicious
+
+
+class TestBookkeeping:
+    def test_unknown_client_is_clean(self):
+        assert not RangeAmpDetector().verdict("nobody").suspicious
+
+    def test_clients_tracked_independently(self):
+        detector = RangeAmpDetector()
+        _feed_sbr(detector, "attacker")
+        detector.observe("bystander", _request("/file.bin"))
+        assert detector.suspicious_clients() == ["attacker"]
+
+    def test_reset_single_client(self):
+        detector = RangeAmpDetector()
+        _feed_sbr(detector, "attacker")
+        detector.reset("attacker")
+        assert not detector.verdict("attacker").suspicious
+
+    def test_reset_all(self):
+        detector = RangeAmpDetector()
+        _feed_sbr(detector, "a")
+        _feed_sbr(detector, "b")
+        detector.reset()
+        assert detector.suspicious_clients() == []
+
+    def test_malformed_range_ignored(self):
+        detector = RangeAmpDetector()
+        detector.observe("client", _request("/x", "bytes=banana"))
+        verdict = detector.verdict("client")
+        assert verdict.tiny_range_requests == 0

@@ -1,0 +1,171 @@
+"""Integration tests for the §VI-C mitigations: each one must actually
+kill (or bound) the attack it targets, without breaking legitimate range
+serving."""
+
+import pytest
+
+from repro.cdn.vendors import create_profile
+from repro.core.deployment import CdnSpec, Deployment
+from repro.core.obr import ObrAttack
+from repro.core.sbr import SbrAttack
+from repro.defense.mitigations import (
+    rfc7233_multirange_guard,
+    with_bounded_expansion,
+    with_laziness,
+    with_overlap_rejection,
+)
+from repro.http.message import HttpRequest
+from repro.netsim.tap import CDN_ORIGIN
+from repro.origin.server import OriginServer
+
+from tests.conftest import make_origin
+
+MB = 1 << 20
+
+
+def _sbr_with_profile(profile, size=1 * MB):
+    attack = SbrAttack("unused", resource_size=size)
+    attack.build_deployment = lambda: Deployment.single(  # type: ignore[method-assign]
+        CdnSpec(profile=profile), _origin(size)
+    )
+    return attack.run(range_cases=["bytes=0-0"])
+
+
+def _origin(size):
+    origin = OriginServer()
+    origin.add_synthetic_resource("/target.bin", size)
+    return origin
+
+
+class TestLaziness:
+    """G-Core's deployed fix: the Laziness policy removes the SBR attack."""
+
+    def test_sbr_amplification_eliminated(self):
+        vulnerable = SbrAttack("gcore", resource_size=1 * MB).run()
+        mitigated = _sbr_with_profile(with_laziness(create_profile("gcore")))
+        assert vulnerable.amplification > 1500
+        assert mitigated.amplification < 3
+
+    def test_legitimate_ranges_still_work(self):
+        origin = make_origin(1000)
+        deployment = Deployment.single(
+            CdnSpec(profile=with_laziness(create_profile("gcore"))), origin
+        )
+        result = deployment.client().get("/file.bin", range_value="bytes=10-19")
+        assert result.response.status == 206
+        assert len(result.response.body) == 10
+
+    def test_identity_preserved(self):
+        mitigated = with_laziness(create_profile("cloudflare"))
+        assert mitigated.server_header == "cloudflare"
+        assert "mitigated" in mitigated.display_name
+
+
+class TestBoundedExpansion:
+    """The paper's +8 KB recommendation: prefetch survives, amplification
+    collapses to a constant."""
+
+    def test_origin_traffic_bounded_by_slack(self):
+        mitigated = with_bounded_expansion(create_profile("gcore"), slack=8 * 1024)
+        result = _sbr_with_profile(mitigated, size=10 * MB)
+        # ~8 KB instead of 10 MB.
+        assert result.origin_traffic < 16 * 1024
+        assert result.amplification < 20
+
+    def test_amplification_independent_of_resource_size(self):
+        mitigated_small = _sbr_with_profile(
+            with_bounded_expansion(create_profile("gcore")), size=1 * MB
+        )
+        mitigated_large = _sbr_with_profile(
+            with_bounded_expansion(create_profile("gcore")), size=25 * MB
+        )
+        assert mitigated_large.amplification == pytest.approx(
+            mitigated_small.amplification, rel=0.05
+        )
+
+    def test_requested_range_still_served(self):
+        origin = make_origin(100_000)
+        deployment = Deployment.single(
+            CdnSpec(profile=with_bounded_expansion(create_profile("gcore"))), origin
+        )
+        result = deployment.client().get("/file.bin", range_value="bytes=5-9")
+        assert result.response.status == 206
+        assert result.response.headers.get("Content-Range") == "bytes 5-9/100000"
+
+
+class TestOverlapRejection:
+    """CDN77's deployed fix: RFC 7233 §6.1 guard kills the OBR back-end."""
+
+    def test_overlapping_request_rejected_at_ingress(self):
+        origin = make_origin(1024, range_support=False)
+        deployment = Deployment.single(
+            CdnSpec(profile=with_overlap_rejection(create_profile("akamai"))), origin
+        )
+        result = deployment.client().get(
+            "/file.bin", range_value="bytes=" + ",".join(["0-"] * 64)
+        )
+        assert result.response.status == 431
+        # Nothing was fetched from the origin.
+        assert deployment.ledger.segment_stats(CDN_ORIGIN).exchange_count == 0
+
+    def test_obr_attack_fails_against_mitigated_bcdn(self):
+        attack = ObrAttack("cloudflare", "akamai")
+        original_build = attack.build_deployment
+
+        def mitigated_build():
+            deployment = original_build()
+            bcdn = deployment.nodes[1]
+            bcdn.profile = with_overlap_rejection(bcdn.profile)
+            return deployment
+
+        attack.build_deployment = mitigated_build  # type: ignore[method-assign]
+        # RFC 7233 6.1 tolerates up to two overlapping ranges, so tiny
+        # requests still pass — but they no longer amplify (coalesced),
+        # and anything larger is rejected outright.
+        assert attack.find_max_n() <= 2
+        result = attack.run(overlap_count=2)
+        assert result.amplification < 5
+
+    def test_benign_disjoint_multirange_still_served(self):
+        origin = make_origin(1000)
+        deployment = Deployment.single(
+            CdnSpec(profile=with_overlap_rejection(create_profile("akamai"))), origin
+        )
+        result = deployment.client().get("/file.bin", range_value="bytes=0-1,10-19")
+        assert result.response.status == 206
+
+
+class TestRfc7233Guard:
+    def _request(self, range_value):
+        return HttpRequest(
+            "GET", "/x", headers=[("Host", "h"), ("Range", range_value)]
+        )
+
+    def test_overlapping_flagged(self):
+        guard = rfc7233_multirange_guard()
+        assert guard(self._request("bytes=" + ",".join(["0-"] * 10))) is not None
+
+    def test_many_small_ranges_flagged(self):
+        guard = rfc7233_multirange_guard()
+        specs = ",".join(f"{i * 100}-{i * 100}" for i in range(20))
+        assert guard(self._request(f"bytes={specs}")) is not None
+
+    def test_single_range_passes(self):
+        guard = rfc7233_multirange_guard()
+        assert guard(self._request("bytes=0-0")) is None
+
+    def test_two_disjoint_ranges_pass(self):
+        guard = rfc7233_multirange_guard()
+        assert guard(self._request("bytes=0-99999,200000-300000")) is None
+
+    def test_no_range_header_passes(self):
+        guard = rfc7233_multirange_guard()
+        assert guard(HttpRequest("GET", "/x", headers=[("Host", "h")])) is None
+
+
+class TestInvalidMode:
+    def test_unknown_forwarding_mode_rejected(self):
+        from repro.defense.mitigations import MitigatedProfile
+
+        with pytest.raises(ValueError):
+            MitigatedProfile(create_profile("gcore"), forwarding="nonsense")

@@ -1,0 +1,126 @@
+"""Tests for the rate-limiting defense and its documented evasions."""
+
+import pytest
+
+from repro.defense.ratelimit import (
+    RateLimitedHandler,
+    TokenBucket,
+    key_by_client_header,
+    key_by_path,
+)
+from repro.http.message import HttpRequest
+from repro.netsim.clock import SimClock
+
+from tests.conftest import make_origin
+
+
+def _request(target="/file.bin", client="203.0.113.66", range_value="bytes=0-0"):
+    headers = [("Host", "h"), ("X-Client-Address", client)]
+    if range_value is not None:
+        headers.append(("Range", range_value))
+    return HttpRequest("GET", target, headers=headers)
+
+
+class TestTokenBucket:
+    def test_burst_then_block(self):
+        bucket = TokenBucket(capacity=3, refill_rate=1.0)
+        assert [bucket.allow(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(capacity=2, refill_rate=1.0)
+        assert bucket.allow(0.0) and bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+        assert bucket.allow(1.0)  # one token refilled
+
+    def test_refill_capped_at_capacity(self):
+        bucket = TokenBucket(capacity=2, refill_rate=10.0)
+        bucket.allow(0.0)
+        assert bucket.allow(100.0) and bucket.allow(100.0)
+        assert not bucket.allow(100.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=0, refill_rate=1)
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=1, refill_rate=-1)
+
+
+class TestRateLimitedHandler:
+    def test_burst_admitted_then_429(self):
+        limiter = RateLimitedHandler(make_origin(), rate_per_second=1.0, burst=3)
+        statuses = [limiter.handle(_request()).status for _ in range(5)]
+        assert statuses == [206, 206, 206, 429, 429]
+        assert limiter.admitted == 3
+        assert limiter.rejected == 2
+
+    def test_clock_refill_readmits(self):
+        clock = SimClock()
+        limiter = RateLimitedHandler(
+            make_origin(), rate_per_second=1.0, burst=1, clock=clock
+        )
+        assert limiter.handle(_request()).status == 206
+        assert limiter.handle(_request()).status == 429
+        clock.advance(1.0)
+        assert limiter.handle(_request()).status == 206
+
+    def test_clients_limited_independently(self):
+        limiter = RateLimitedHandler(make_origin(), rate_per_second=1.0, burst=1)
+        assert limiter.handle(_request(client="a")).status == 206
+        assert limiter.handle(_request(client="b")).status == 206
+        assert limiter.handle(_request(client="a")).status == 429
+
+
+class TestEvasions:
+    """The §VI-C point, quantified: each key choice has an evasion."""
+
+    def test_address_rotation_evades_client_keying(self):
+        limiter = RateLimitedHandler(
+            make_origin(), rate_per_second=0.0, burst=2,
+            key_fn=key_by_client_header(),
+        )
+        statuses = [
+            limiter.handle(_request(client=f"203.0.113.{i}")).status
+            for i in range(20)
+        ]
+        assert statuses == [206] * 20
+        # And the limiter now holds state for every fake address.
+        assert limiter.tracked_keys() == 20
+
+    def test_path_keying_catches_rotating_attackers(self):
+        limiter = RateLimitedHandler(
+            make_origin(), rate_per_second=0.0, burst=3,
+            key_fn=key_by_path(include_query=False),
+        )
+        statuses = [
+            limiter.handle(
+                _request(target=f"/file.bin?cb={i}", client=f"203.0.113.{i}")
+            ).status
+            for i in range(5)
+        ]
+        assert statuses == [206, 206, 206, 429, 429]
+
+    def test_query_inclusive_path_keying_is_defeated_by_cache_busting(self):
+        limiter = RateLimitedHandler(
+            make_origin(), rate_per_second=0.0, burst=1,
+            key_fn=key_by_path(include_query=True),
+        )
+        statuses = [
+            limiter.handle(_request(target=f"/file.bin?cb={i}")).status
+            for i in range(10)
+        ]
+        assert statuses == [206] * 10
+
+    def test_path_keying_throttles_benign_clients_too(self):
+        """The collateral-damage half of the tradeoff: popular objects
+        get throttled for everyone."""
+        limiter = RateLimitedHandler(
+            make_origin(), rate_per_second=0.0, burst=2,
+            key_fn=key_by_path(include_query=False),
+        )
+        legit = [
+            limiter.handle(
+                _request(client=f"198.51.100.{i}", range_value=None)
+            ).status
+            for i in range(4)
+        ]
+        assert legit == [200, 200, 429, 429]

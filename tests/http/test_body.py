@@ -1,0 +1,172 @@
+"""Unit and property tests for the body model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.http.body import (
+    Body,
+    BytesBody,
+    CompositeBody,
+    SyntheticBody,
+    make_body,
+)
+
+
+class TestBytesBody:
+    def test_length_and_materialize(self):
+        body = BytesBody(b"hello")
+        assert len(body) == 5
+        assert body.materialize() == b"hello"
+
+    def test_slice(self):
+        body = BytesBody(b"hello world")
+        assert body.slice(6, 11).materialize() == b"world"
+
+    def test_slice_clamps(self):
+        body = BytesBody(b"abc")
+        assert body.slice(-5, 100).materialize() == b"abc"
+        assert body.slice(2, 1).materialize() == b""
+
+    def test_first(self):
+        assert BytesBody(b"abcdef").first(3).materialize() == b"abc"
+
+    def test_equality(self):
+        assert BytesBody(b"ab") == BytesBody(b"ab")
+        assert BytesBody(b"ab") != BytesBody(b"ac")
+
+
+class TestSyntheticBody:
+    def test_length_without_allocation(self):
+        body = SyntheticBody(25 * 1024 * 1024)
+        assert len(body) == 25 * 1024 * 1024
+
+    def test_materialize_small(self):
+        body = SyntheticBody(5, pattern=b"ab")
+        assert body.materialize() == b"ababa"
+
+    def test_slice_shifts_offset(self):
+        body = SyntheticBody(10, pattern=b"abcd")
+        assert body.slice(2, 6).materialize() == body.materialize()[2:6]
+
+    def test_nested_slices(self):
+        body = SyntheticBody(100, pattern=b"0123456789")
+        once = body.slice(13, 77)
+        twice = once.slice(5, 20)
+        assert twice.materialize() == body.materialize()[18:33]
+
+    def test_byte_at(self):
+        body = SyntheticBody(10, pattern=b"xyz")
+        full = body.materialize()
+        assert all(body.byte_at(i) == full[i] for i in range(10))
+
+    def test_byte_at_out_of_range(self):
+        with pytest.raises(IndexError):
+            SyntheticBody(3).byte_at(3)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticBody(-1)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticBody(5, pattern=b"")
+
+    def test_materialize_limit(self):
+        huge = SyntheticBody(SyntheticBody.MATERIALIZE_LIMIT + 1)
+        with pytest.raises(MemoryError):
+            huge.materialize()
+
+    def test_equals_bytes_body_with_same_content(self):
+        synthetic = SyntheticBody(6, pattern=b"ab")
+        assert synthetic == BytesBody(b"ababab")
+
+    @given(
+        length=st.integers(min_value=0, max_value=500),
+        start=st.integers(min_value=-10, max_value=510),
+        stop=st.integers(min_value=-10, max_value=510),
+        pattern=st.binary(min_size=1, max_size=16),
+    )
+    @settings(max_examples=200)
+    def test_slice_consistency_property(self, length, start, stop, pattern):
+        """Slicing a synthetic body must equal slicing its materialization."""
+        body = SyntheticBody(length, pattern=pattern)
+        expected_start = max(0, min(start, length))
+        expected_stop = max(expected_start, min(stop, length))
+        assert (
+            body.slice(start, stop).materialize()
+            == body.materialize()[expected_start:expected_stop]
+        )
+
+
+class TestCompositeBody:
+    def test_concatenation(self):
+        body = CompositeBody([b"ab", BytesBody(b"cd"), SyntheticBody(2, pattern=b"x")])
+        assert len(body) == 6
+        assert body.materialize() == b"abcdxx"
+
+    def test_empty(self):
+        body = CompositeBody()
+        assert len(body) == 0
+        assert body.materialize() == b""
+
+    def test_slice_across_parts(self):
+        body = CompositeBody([b"abc", b"def", b"ghi"])
+        assert body.slice(2, 7).materialize() == b"cdefg"
+
+    def test_slice_within_one_part(self):
+        body = CompositeBody([b"abc", b"def"])
+        assert body.slice(4, 5).materialize() == b"e"
+
+    def test_nested_composites(self):
+        inner = CompositeBody([b"ab", b"cd"])
+        outer = CompositeBody([b"__", inner, b"!!"])
+        assert outer.materialize() == b"__abcd!!"
+
+    @given(
+        chunks=st.lists(st.binary(max_size=20), max_size=8),
+        start=st.integers(min_value=-5, max_value=200),
+        stop=st.integers(min_value=-5, max_value=200),
+    )
+    @settings(max_examples=200)
+    def test_slice_property(self, chunks, start, stop):
+        body = CompositeBody(chunks)
+        joined = b"".join(chunks)
+        expected_start = max(0, min(start, len(joined)))
+        expected_stop = max(expected_start, min(stop, len(joined)))
+        assert (
+            body.slice(start, stop).materialize()
+            == joined[expected_start:expected_stop]
+        )
+
+
+class TestMakeBody:
+    def test_none_is_empty(self):
+        assert len(make_body(None)) == 0
+
+    def test_bytes_passthrough(self):
+        assert make_body(b"ab").materialize() == b"ab"
+
+    def test_str_is_utf8(self):
+        assert make_body("héllo").materialize() == "héllo".encode("utf-8")
+
+    def test_int_is_synthetic(self):
+        body = make_body(1024)
+        assert isinstance(body, SyntheticBody)
+        assert len(body) == 1024
+
+    def test_body_passthrough_identity(self):
+        body = BytesBody(b"x")
+        assert make_body(body) is body
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            make_body(True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            make_body(3.14)
+
+    def test_all_bodies_implement_interface(self):
+        for body in (BytesBody(b"a"), SyntheticBody(1), CompositeBody([b"a"])):
+            assert isinstance(body, Body)

@@ -1,0 +1,124 @@
+"""Unit tests for HTTP request/response messages and wire accounting."""
+
+import pytest
+
+from repro.errors import MessageError
+from repro.http.headers import Headers
+from repro.http.message import HttpRequest, HttpResponse
+
+
+class TestHttpRequest:
+    def test_defaults(self):
+        request = HttpRequest()
+        assert request.method == "GET"
+        assert request.target == "/"
+        assert request.version == "HTTP/1.1"
+        assert len(request.body) == 0
+
+    def test_request_line(self):
+        request = HttpRequest("GET", "/a/b?x=1")
+        assert request.request_line() == "GET /a/b?x=1 HTTP/1.1"
+
+    def test_host_property(self):
+        request = HttpRequest(headers=[("Host", "example.com")])
+        assert request.host == "example.com"
+        assert HttpRequest().host is None
+
+    def test_path_and_query(self):
+        request = HttpRequest(target="/file.bin?cb=3&x=1")
+        assert request.path == "/file.bin"
+        assert request.query == "cb=3&x=1"
+
+    def test_path_without_query(self):
+        request = HttpRequest(target="/file.bin")
+        assert request.path == "/file.bin"
+        assert request.query == ""
+
+    def test_range_header_property(self):
+        request = HttpRequest(headers=[("Range", "bytes=0-0")])
+        assert request.range_header == "bytes=0-0"
+
+    def test_wire_size_matches_serialize(self):
+        request = HttpRequest(
+            "GET", "/x", headers=[("Host", "h"), ("Range", "bytes=0-0")], body=b"abc"
+        )
+        assert request.wire_size() == len(request.serialize())
+
+    def test_header_block_size_matches_serialize_prefix(self):
+        request = HttpRequest("GET", "/x", headers=[("Host", "h")])
+        blob = request.serialize()
+        assert blob.endswith(b"\r\n\r\n")
+        assert request.header_block_size() == len(blob)
+
+    def test_copy_is_deep_for_headers(self):
+        request = HttpRequest(headers=[("Host", "h")])
+        clone = request.copy()
+        clone.headers.add("Range", "bytes=0-0")
+        assert "Range" not in request.headers
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(MessageError):
+            HttpRequest(method="GE T")
+        with pytest.raises(MessageError):
+            HttpRequest(method="")
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(MessageError):
+            HttpRequest(target="/a b")
+        with pytest.raises(MessageError):
+            HttpRequest(target="")
+
+    def test_headers_accepts_headers_instance(self):
+        headers = Headers([("Host", "h")])
+        request = HttpRequest(headers=headers)
+        assert request.headers is headers
+
+
+class TestHttpResponse:
+    def test_reason_defaults_from_status(self):
+        assert HttpResponse(206).reason == "Partial Content"
+        assert HttpResponse(200).reason == "OK"
+        assert HttpResponse(416).reason == "Range Not Satisfiable"
+
+    def test_custom_reason(self):
+        assert HttpResponse(200, reason="Fine").reason == "Fine"
+
+    def test_status_line(self):
+        assert HttpResponse(206).status_line() == "HTTP/1.1 206 Partial Content"
+
+    def test_predicates(self):
+        assert HttpResponse(200).is_success
+        assert HttpResponse(206).is_partial
+        assert not HttpResponse(416).is_success
+
+    def test_wire_size_matches_serialize(self):
+        response = HttpResponse(
+            200, headers=[("Content-Length", "3")], body=b"abc"
+        )
+        assert response.wire_size() == len(response.serialize())
+
+    def test_wire_size_with_synthetic_body(self):
+        response = HttpResponse(200, body=10 * 1024 * 1024)
+        assert response.wire_size() == response.header_block_size() + 10 * 1024 * 1024
+
+    def test_declared_content_length(self):
+        response = HttpResponse(200, headers=[("Content-Length", "99")])
+        assert response.declared_content_length() == 99
+        assert HttpResponse(200).declared_content_length() is None
+
+    def test_content_type(self):
+        response = HttpResponse(200, headers=[("Content-Type", "image/png")])
+        assert response.content_type == "image/png"
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(MessageError):
+            HttpResponse(99)
+        with pytest.raises(MessageError):
+            HttpResponse(600)
+
+    def test_copy_is_independent(self):
+        response = HttpResponse(200, headers=[("A", "1")], body=b"x")
+        clone = response.copy()
+        clone.headers.add("B", "2")
+        assert "B" not in response.headers
+        assert clone.body.materialize() == b"x"

@@ -1,0 +1,319 @@
+"""Unit and property tests for the RFC 7233 range grammar."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RangeNotSatisfiableError, RangeParseError
+from repro.http.ranges import (
+    ByteRangeSpec,
+    RangeSpecifier,
+    ResolvedRange,
+    SuffixByteRangeSpec,
+    coalesce_ranges,
+    covering_span,
+    distinct_resolved_bytes,
+    format_content_range,
+    format_unsatisfied_content_range,
+    parse_content_range,
+    parse_range_header,
+    ranges_overlap,
+    total_resolved_bytes,
+    try_parse_range_header,
+)
+
+
+class TestParsing:
+    def test_single_closed(self):
+        spec = parse_range_header("bytes=0-499")
+        assert spec.specs == (ByteRangeSpec(0, 499),)
+
+    def test_single_open(self):
+        spec = parse_range_header("bytes=9500-")
+        assert spec.specs == (ByteRangeSpec(9500, None),)
+
+    def test_suffix(self):
+        spec = parse_range_header("bytes=-500")
+        assert spec.specs == (SuffixByteRangeSpec(500),)
+
+    def test_multiple_ranges(self):
+        spec = parse_range_header("bytes=0-0,-1")
+        assert spec.specs == (ByteRangeSpec(0, 0), SuffixByteRangeSpec(1))
+        assert spec.is_multi
+
+    def test_optional_whitespace_after_commas(self):
+        spec = parse_range_header("bytes=0-0, 5-9,\t-2")
+        assert len(spec) == 3
+
+    def test_empty_list_elements_tolerated(self):
+        # The #rule list grammar allows "a,,b".
+        spec = parse_range_header("bytes=0-0,,5-9")
+        assert len(spec) == 2
+
+    def test_rfc_appendix_examples(self):
+        # RFC 7233's canonical examples for a 10000-byte representation.
+        assert parse_range_header("bytes=0-499").resolve(10000) == [ResolvedRange(0, 499)]
+        assert parse_range_header("bytes=-500").resolve(10000) == [ResolvedRange(9500, 9999)]
+        assert parse_range_header("bytes=9500-").resolve(10000) == [ResolvedRange(9500, 9999)]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "bytes=",
+            "bytes",
+            "0-499",
+            "bytes=a-b",
+            "bytes=5-3",
+            "bytes=--5",
+            "bytes=-",
+            "bytes=5--9",
+            "bytes= 0-0",  # no space allowed between '=' and spec? it is OWS-trimmed per element
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        if bad == "bytes= 0-0":
+            # OWS after the comma-separated element is legal; this parses.
+            assert parse_range_header(bad).specs == (ByteRangeSpec(0, 0),)
+            return
+        with pytest.raises(RangeParseError):
+            parse_range_header(bad)
+
+    def test_non_bytes_unit_rejected_when_strict(self):
+        with pytest.raises(RangeParseError):
+            parse_range_header("items=0-5")
+
+    def test_non_bytes_unit_allowed_when_lenient(self):
+        spec = parse_range_header("items=0-5", strict_unit=False)
+        assert spec.unit == "items"
+
+    def test_try_parse_returns_none_on_garbage(self):
+        assert try_parse_range_header("bytes=oops") is None
+        assert try_parse_range_header(None) is None
+        assert try_parse_range_header("bytes=0-0") is not None
+
+    def test_round_trip(self):
+        value = "bytes=0-0,5-,-200"
+        assert parse_range_header(value).to_header_value() == value
+
+    def test_negative_positions_unrepresentable(self):
+        with pytest.raises(RangeParseError):
+            ByteRangeSpec(-1, 5)
+        with pytest.raises(RangeParseError):
+            SuffixByteRangeSpec(-1)
+
+
+class TestResolution:
+    def test_closed_range_within_bounds(self):
+        assert ByteRangeSpec(2, 5).resolve(10) == ResolvedRange(2, 5)
+
+    def test_last_clamped_to_end(self):
+        assert ByteRangeSpec(2, 100).resolve(10) == ResolvedRange(2, 9)
+
+    def test_open_range(self):
+        assert ByteRangeSpec(3).resolve(10) == ResolvedRange(3, 9)
+
+    def test_first_past_end_unsatisfiable(self):
+        assert ByteRangeSpec(10).resolve(10) is None
+        assert ByteRangeSpec(11, 20).resolve(10) is None
+
+    def test_suffix_normal(self):
+        assert SuffixByteRangeSpec(3).resolve(10) == ResolvedRange(7, 9)
+
+    def test_suffix_longer_than_file(self):
+        assert SuffixByteRangeSpec(100).resolve(10) == ResolvedRange(0, 9)
+
+    def test_suffix_zero_unsatisfiable(self):
+        assert SuffixByteRangeSpec(0).resolve(10) is None
+
+    def test_suffix_on_empty_file_unsatisfiable(self):
+        assert SuffixByteRangeSpec(5).resolve(0) is None
+
+    def test_specifier_drops_unsatisfiable_specs(self):
+        spec = parse_range_header("bytes=0-0,50-60")
+        assert spec.resolve(10) == [ResolvedRange(0, 0)]
+
+    def test_specifier_preserves_order_and_duplicates(self):
+        spec = parse_range_header("bytes=5-9,0-0,5-9")
+        assert spec.resolve(10) == [
+            ResolvedRange(5, 9),
+            ResolvedRange(0, 0),
+            ResolvedRange(5, 9),
+        ]
+
+    def test_all_unsatisfiable_raises_416_condition(self):
+        spec = parse_range_header("bytes=50-60")
+        with pytest.raises(RangeNotSatisfiableError) as exc_info:
+            spec.resolve(10)
+        assert exc_info.value.complete_length == 10
+
+    def test_has_overlaps(self):
+        assert parse_range_header("bytes=0-,0-").has_overlaps(10)
+        assert not parse_range_header("bytes=0-0,5-9").has_overlaps(10)
+        assert not parse_range_header("bytes=50-60").has_overlaps(10)
+
+    def test_requested_bytes_double_counts_overlaps(self):
+        spec = parse_range_header("bytes=0-,0-")
+        assert spec.requested_bytes(10) == 20
+
+
+class TestResolvedRange:
+    def test_length(self):
+        assert ResolvedRange(0, 0).length == 1
+        assert ResolvedRange(3, 7).length == 5
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ResolvedRange(5, 3)
+        with pytest.raises(ValueError):
+            ResolvedRange(-1, 3)
+
+    def test_overlaps(self):
+        assert ResolvedRange(0, 5).overlaps(ResolvedRange(5, 9))
+        assert not ResolvedRange(0, 4).overlaps(ResolvedRange(5, 9))
+
+    def test_touches_includes_adjacency(self):
+        assert ResolvedRange(0, 4).touches(ResolvedRange(5, 9))
+        assert not ResolvedRange(0, 3).touches(ResolvedRange(5, 9))
+
+    def test_union(self):
+        assert ResolvedRange(0, 4).union(ResolvedRange(3, 9)) == ResolvedRange(0, 9)
+
+
+class TestAnalysisHelpers:
+    def test_coalesce_merges_overlapping(self):
+        merged = coalesce_ranges([ResolvedRange(0, 5), ResolvedRange(3, 9)])
+        assert merged == [ResolvedRange(0, 9)]
+
+    def test_coalesce_merges_adjacent(self):
+        merged = coalesce_ranges([ResolvedRange(0, 4), ResolvedRange(5, 9)])
+        assert merged == [ResolvedRange(0, 9)]
+
+    def test_coalesce_keeps_disjoint(self):
+        ranges = [ResolvedRange(0, 1), ResolvedRange(5, 9)]
+        assert coalesce_ranges(ranges) == ranges
+
+    def test_coalesce_unsorted_input(self):
+        merged = coalesce_ranges([ResolvedRange(5, 9), ResolvedRange(0, 6)])
+        assert merged == [ResolvedRange(0, 9)]
+
+    def test_coalesce_empty(self):
+        assert coalesce_ranges([]) == []
+
+    def test_covering_span(self):
+        span = covering_span([ResolvedRange(3, 4), ResolvedRange(8, 9)])
+        assert span == ResolvedRange(3, 9)
+
+    def test_covering_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            covering_span([])
+
+    def test_total_vs_distinct_bytes(self):
+        overlapping = [ResolvedRange(0, 9), ResolvedRange(0, 9)]
+        assert total_resolved_bytes(overlapping) == 20
+        assert distinct_resolved_bytes(overlapping) == 10
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=100),
+            ).map(lambda t: ResolvedRange(min(t), max(t))),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=200)
+    def test_coalesce_properties(self, ranges):
+        merged = coalesce_ranges(ranges)
+        # Sorted, non-overlapping, non-adjacent.
+        assert merged == sorted(merged)
+        for a, b in zip(merged, merged[1:]):
+            assert not a.touches(b)
+        # Coverage preserved.
+        covered = set()
+        for r in ranges:
+            covered.update(range(r.start, r.end + 1))
+        merged_covered = set()
+        for r in merged:
+            merged_covered.update(range(r.start, r.end + 1))
+        assert covered == merged_covered
+        # Idempotent.
+        assert coalesce_ranges(merged) == merged
+
+
+class TestContentRange:
+    def test_format(self):
+        assert format_content_range(0, 0, 1000) == "bytes 0-0/1000"
+        assert format_content_range(5, 9, None) == "bytes 5-9/*"
+
+    def test_format_invalid(self):
+        with pytest.raises(ValueError):
+            format_content_range(5, 3, 10)
+
+    def test_format_unsatisfied(self):
+        assert format_unsatisfied_content_range(1000) == "bytes */1000"
+
+    def test_parse_normal(self):
+        resolved, complete = parse_content_range("bytes 0-0/1000")
+        assert resolved == ResolvedRange(0, 0)
+        assert complete == 1000
+
+    def test_parse_unknown_length(self):
+        resolved, complete = parse_content_range("bytes 5-9/*")
+        assert resolved == ResolvedRange(5, 9)
+        assert complete is None
+
+    def test_parse_unsatisfied_form(self):
+        resolved, complete = parse_content_range("bytes */1000")
+        assert resolved is None
+        assert complete == 1000
+
+    @pytest.mark.parametrize("bad", ["bytes 5-3/10", "0-0/10", "bytes x-y/10", "bytes */x"])
+    def test_parse_malformed(self, bad):
+        with pytest.raises(RangeParseError):
+            parse_content_range(bad)
+
+    def test_round_trip(self):
+        value = format_content_range(3, 9, 100)
+        resolved, complete = parse_content_range(value)
+        assert (resolved, complete) == (ResolvedRange(3, 9), 100)
+
+
+# ---------------------------------------------------------------------------
+# Property tests over the whole grammar
+# ---------------------------------------------------------------------------
+
+_spec_strategy = st.one_of(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=10_000)),
+    ).map(
+        lambda t: ByteRangeSpec(t[0], None if t[1] is None else max(t[0], t[1]))
+    ),
+    st.integers(min_value=0, max_value=10_000).map(SuffixByteRangeSpec),
+)
+
+
+class TestGrammarProperties:
+    @given(specs=st.lists(_spec_strategy, min_size=1, max_size=8))
+    @settings(max_examples=300)
+    def test_format_parse_round_trip(self, specs):
+        original = RangeSpecifier(specs)
+        parsed = parse_range_header(original.to_header_value())
+        assert parsed == original
+
+    @given(
+        specs=st.lists(_spec_strategy, min_size=1, max_size=8),
+        length=st.integers(min_value=0, max_value=20_000),
+    )
+    @settings(max_examples=300)
+    def test_resolution_stays_in_bounds(self, specs, length):
+        specifier = RangeSpecifier(specs)
+        try:
+            resolved = specifier.resolve(length)
+        except RangeNotSatisfiableError:
+            return
+        assert resolved
+        for r in resolved:
+            assert 0 <= r.start <= r.end < length

@@ -1,0 +1,126 @@
+"""Unit and property tests for wire-format parsing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MessageError
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.wire import parse_request, parse_response
+
+
+class TestParseRequest:
+    def test_round_trip(self):
+        original = HttpRequest(
+            "GET",
+            "/file.bin?cb=3",
+            headers=[("Host", "victim.example"), ("Range", "bytes=0-0")],
+        )
+        parsed = parse_request(original.serialize())
+        assert parsed.method == "GET"
+        assert parsed.target == "/file.bin?cb=3"
+        assert parsed.headers == original.headers
+        assert parsed.serialize() == original.serialize()
+
+    def test_body_delimited_by_content_length(self):
+        blob = (
+            b"POST /x HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n\r\nabcEXTRA"
+        )
+        parsed = parse_request(blob)
+        assert parsed.body.materialize() == b"abc"
+
+    def test_body_without_content_length_takes_rest(self):
+        blob = b"POST /x HTTP/1.1\r\nHost: h\r\n\r\npayload"
+        assert parse_request(blob).body.materialize() == b"payload"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            b"GET /x HTTP/1.1\r\nHost: h\r\n",  # no blank line
+            b"GET /x\r\n\r\n",  # two-token request line
+            b"GET /x NOTHTTP\r\n\r\n",  # bad version
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",  # truncated
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(MessageError):
+            parse_request(bad)
+
+
+class TestParseResponse:
+    def test_round_trip(self):
+        original = HttpResponse(
+            206,
+            headers=[("Content-Range", "bytes 0-0/1000"), ("Content-Length", "1")],
+            body=b"x",
+        )
+        parsed = parse_response(original.serialize())
+        assert parsed.status == 206
+        assert parsed.reason == "Partial Content"
+        assert parsed.serialize() == original.serialize()
+
+    def test_status_only_line(self):
+        parsed = parse_response(b"HTTP/1.1 204\r\n\r\n")
+        assert parsed.status == 204
+        assert parsed.reason == ""
+
+    def test_reason_with_spaces(self):
+        parsed = parse_response(b"HTTP/1.1 416 Range Not Satisfiable\r\n\r\n")
+        assert parsed.reason == "Range Not Satisfiable"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            b"HTTP/1.1 abc OK\r\n\r\n",
+            b"NOTHTTP 200 OK\r\n\r\n",
+            b"HTTP/1.1\r\n\r\n",
+            b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nab",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(MessageError):
+            parse_response(bad)
+
+
+_token = st.text(alphabet="abcdefghijklmnopqrstuvwxyz-", min_size=1, max_size=12)
+
+
+class TestRoundTripProperties:
+    @given(
+        target=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz0123456789/?=&.-", min_size=1, max_size=30
+        ).map(lambda s: "/" + s),
+        header_names=st.lists(_token, min_size=0, max_size=5, unique=True),
+        body=st.binary(max_size=64),
+    )
+    @settings(max_examples=150)
+    def test_request_round_trip(self, target, header_names, body):
+        headers = [("Host", "h")] + [(n, "v") for n in header_names]
+        headers.append(("Content-Length", str(len(body))))
+        original = HttpRequest("GET", target, headers=headers, body=body)
+        parsed = parse_request(original.serialize())
+        assert parsed.serialize() == original.serialize()
+        assert parsed.wire_size() == original.wire_size()
+
+    @given(
+        status=st.integers(min_value=100, max_value=599),
+        body=st.binary(max_size=64),
+    )
+    @settings(max_examples=150)
+    def test_response_round_trip(self, status, body):
+        original = HttpResponse(
+            status, headers=[("Content-Length", str(len(body)))], body=body
+        )
+        parsed = parse_response(original.serialize())
+        assert parsed.serialize() == original.serialize()
+
+    def test_cdn_response_parses_from_wire(self):
+        """End-to-end: a simulated CDN response survives serialization."""
+        from tests.conftest import get, make_node, make_origin
+
+        node = make_node("cloudflare", make_origin(1000))
+        response = get(node, range_value="bytes=5-9")
+        parsed = parse_response(response.serialize())
+        assert parsed.status == 206
+        assert parsed.headers.get("Content-Range") == "bytes 5-9/1000"
+        assert parsed.body.materialize() == response.body.materialize()

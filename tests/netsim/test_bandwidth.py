@@ -1,0 +1,118 @@
+"""Unit tests for the fluid-flow bandwidth simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.bandwidth import FluidSimulator, Link
+
+
+def _mbps(value):
+    return value * 1e6
+
+
+class TestSetup:
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Link("l", 0)
+        with pytest.raises(SimulationError):
+            Link("l", -1)
+
+    def test_duplicate_link_names(self):
+        with pytest.raises(SimulationError):
+            FluidSimulator([Link("l", 1), Link("l", 2)])
+
+    def test_unknown_link_in_transfer(self):
+        simulator = FluidSimulator([Link("a", _mbps(1))])
+        with pytest.raises(SimulationError):
+            simulator.add_transfer(100, ["nope"])
+
+    def test_invalid_dt(self):
+        with pytest.raises(SimulationError):
+            FluidSimulator([Link("a", _mbps(1))], dt=0)
+
+    def test_negative_size_rejected(self):
+        simulator = FluidSimulator([Link("a", _mbps(1))])
+        with pytest.raises(SimulationError):
+            simulator.add_transfer(-1, ["a"])
+
+    def test_run_backwards_rejected(self):
+        simulator = FluidSimulator([Link("a", _mbps(1))])
+        simulator.run(1.0)
+        with pytest.raises(SimulationError):
+            simulator.run(0.5)
+
+
+class TestSingleTransfer:
+    def test_transfer_completes_at_expected_time(self):
+        # 1 Mbps link, 1 Mbit transfer -> ~1 second.
+        simulator = FluidSimulator([Link("a", _mbps(1))], dt=0.1)
+        transfer = simulator.add_transfer(125_000, ["a"])
+        simulator.run(2.0)
+        assert transfer.done
+        assert transfer.finish_time == pytest.approx(1.0, abs=0.15)
+
+    def test_throughput_bounded_by_capacity(self):
+        simulator = FluidSimulator([Link("a", _mbps(10))], dt=0.1)
+        simulator.add_transfer(100 * 125_000, ["a"])
+        simulator.run(1.0)
+        for sample in simulator.samples_for("a"):
+            assert sample.throughput_bps <= _mbps(10) * 1.001
+
+    def test_transfer_not_started_does_not_consume(self):
+        simulator = FluidSimulator([Link("a", _mbps(1))], dt=0.1)
+        simulator.add_transfer(125_000, ["a"], start_time=5.0)
+        simulator.run(1.0)
+        assert simulator.mean_throughput_bps("a") == 0.0
+
+
+class TestFairSharing:
+    def test_equal_split_between_two_transfers(self):
+        simulator = FluidSimulator([Link("a", _mbps(10))], dt=0.1)
+        first = simulator.add_transfer(10 * 125_000, ["a"])
+        second = simulator.add_transfer(10 * 125_000, ["a"])
+        simulator.run(0.5)
+        # Both progressed equally while sharing.
+        assert first.remaining == pytest.approx(second.remaining)
+
+    def test_max_min_respects_both_bottlenecks(self):
+        # Transfer X uses links a+b; transfer Y uses only a.
+        # b (1 Mbps) bottlenecks X, so Y should soak up the rest of a.
+        simulator = FluidSimulator(
+            [Link("a", _mbps(10)), Link("b", _mbps(1))], dt=0.1
+        )
+        simulator.add_transfer(1e9, ["a", "b"], label="x")
+        simulator.add_transfer(1e9, ["a"], label="y")
+        simulator.run(1.0)
+        a_throughput = simulator.mean_throughput_bps("a")
+        b_throughput = simulator.mean_throughput_bps("b")
+        assert b_throughput == pytest.approx(_mbps(1), rel=0.05)
+        assert a_throughput == pytest.approx(_mbps(10), rel=0.05)
+
+
+class TestSaturation:
+    def test_demand_below_capacity_passes_through(self):
+        simulator = FluidSimulator([Link("a", _mbps(100))], dt=0.1)
+        # 5 transfers x 1 Mbit starting at t=0: 5 Mbit total, finishes fast.
+        for _ in range(5):
+            simulator.add_transfer(125_000, ["a"])
+        simulator.run(2.0)
+        assert all(t.done for t in simulator.transfers)
+
+    def test_oversubscription_pins_link_at_capacity(self):
+        simulator = FluidSimulator([Link("a", _mbps(10))], dt=0.1)
+        # 100 Mbit of demand in the first second on a 10 Mbps link.
+        for second in range(3):
+            for _ in range(4):
+                simulator.add_transfer(10 * 125_000, ["a"], start_time=float(second))
+        simulator.run(3.0)
+        mean = simulator.mean_throughput_bps("a", start=0.5, end=3.0)
+        assert mean == pytest.approx(_mbps(10), rel=0.02)
+
+    def test_queue_drains_after_arrivals_stop(self):
+        simulator = FluidSimulator([Link("a", _mbps(10))], dt=0.1)
+        for _ in range(10):
+            simulator.add_transfer(10 * 125_000, ["a"], start_time=0.0)
+        simulator.run(15.0)
+        assert all(t.done for t in simulator.transfers)
+        # Link goes quiet once the queue drains (100 Mbit / 10 Mbps = 10 s).
+        assert simulator.mean_throughput_bps("a", start=11.0, end=15.0) == 0.0

@@ -1,0 +1,42 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.clock import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_advance():
+    clock = SimClock()
+    assert clock.advance(1.5) == 1.5
+    assert clock.advance(0.5) == 2.0
+    assert clock.now == 2.0
+
+
+def test_advance_by_zero_is_allowed():
+    clock = SimClock(3.0)
+    assert clock.advance(0.0) == 3.0
+
+
+def test_advance_backwards_rejected():
+    with pytest.raises(SimulationError):
+        SimClock().advance(-0.1)
+
+
+def test_advance_to():
+    clock = SimClock(1.0)
+    assert clock.advance_to(4.0) == 4.0
+
+
+def test_advance_to_past_rejected():
+    clock = SimClock(5.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(4.9)

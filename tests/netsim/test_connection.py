@@ -1,0 +1,74 @@
+"""Unit tests for per-connection traffic accounting."""
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.netsim.connection import Connection
+from repro.netsim.overhead import TcpOverheadModel
+
+
+def _request():
+    return HttpRequest("GET", "/x", headers=[("Host", "h")])
+
+
+def _response(body_size=100):
+    return HttpResponse(200, headers=[("Content-Length", str(body_size))], body=body_size)
+
+
+class TestExchange:
+    def test_records_exact_wire_sizes(self):
+        connection = Connection(segment="client-cdn")
+        request, response = _request(), _response(100)
+        record = connection.exchange(request, response)
+        assert record.request_bytes == request.wire_size()
+        assert record.response_bytes_sent == response.wire_size()
+        assert record.response_bytes_delivered == response.wire_size()
+        assert not record.truncated
+        assert record.status == 200
+
+    def test_deliver_cap_truncates(self):
+        connection = Connection(segment="cdn-origin")
+        response = _response(1000)
+        record = connection.exchange(_request(), response, deliver_cap=50)
+        assert record.response_bytes_delivered == 50
+        assert record.response_bytes_sent == response.wire_size()
+        assert record.truncated
+
+    def test_deliver_cap_larger_than_response_is_noop(self):
+        connection = Connection(segment="cdn-origin")
+        response = _response(10)
+        record = connection.exchange(_request(), response, deliver_cap=10_000)
+        assert not record.truncated
+
+    def test_negative_cap_clamped_to_zero(self):
+        connection = Connection(segment="cdn-origin")
+        record = connection.exchange(_request(), _response(10), deliver_cap=-5)
+        assert record.response_bytes_delivered == 0
+
+    def test_aggregates_across_exchanges(self):
+        connection = Connection(segment="client-cdn")
+        for _ in range(3):
+            connection.exchange(_request(), _response(10))
+        assert connection.exchange_count == 3
+        assert connection.request_bytes == 3 * _request().wire_size()
+        assert connection.response_bytes_sent == 3 * _response(10).wire_size()
+
+
+class TestOverheadIntegration:
+    def test_tcp_overhead_applied(self):
+        model = TcpOverheadModel(mss=1460, header_bytes=40)
+        connection = Connection(segment="cdn-origin", overhead=model)
+        request, response = _request(), _response(3000)
+        record = connection.exchange(request, response)
+        assert record.request_bytes == model.framed_size(request.wire_size())
+        # First exchange also pays the handshake.
+        assert record.response_bytes_sent == (
+            model.framed_size(response.wire_size()) + model.connection_setup_bytes()
+        )
+
+    def test_handshake_counted_once_per_connection(self):
+        model = TcpOverheadModel()
+        connection = Connection(segment="cdn-origin", overhead=model)
+        first = connection.exchange(_request(), _response(10))
+        second = connection.exchange(_request(), _response(10))
+        assert first.response_bytes_sent - second.response_bytes_sent == (
+            model.connection_setup_bytes()
+        )

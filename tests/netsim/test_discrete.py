@@ -1,0 +1,150 @@
+"""Tests for the processor-sharing link — including cross-validation
+against the fluid simulator (two independent models of Fig 7)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.bandwidth import FluidSimulator, Link
+from repro.netsim.discrete import (
+    ProcessorSharingLink,
+    saturation_rate_bound,
+)
+
+
+def _mbps(value):
+    return value * 1e6
+
+
+class TestSingleJob:
+    def test_completion_time_exact(self):
+        # 1 Mbit job on a 1 Mbps link: exactly 1 second.
+        link = ProcessorSharingLink(_mbps(1))
+        job = link.add_job(125_000, arrival_time=0.0)
+        link.run()
+        assert job.finish_time == pytest.approx(1.0)
+        assert job.sojourn_time == pytest.approx(1.0)
+
+    def test_late_arrival(self):
+        link = ProcessorSharingLink(_mbps(1))
+        job = link.add_job(125_000, arrival_time=5.0)
+        link.run()
+        assert job.finish_time == pytest.approx(6.0)
+
+    def test_zero_size_job_finishes_instantly(self):
+        link = ProcessorSharingLink(_mbps(1))
+        job = link.add_job(0, arrival_time=2.0)
+        link.run()
+        assert job.finish_time == 2.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            ProcessorSharingLink(0)
+        link = ProcessorSharingLink(_mbps(1))
+        with pytest.raises(SimulationError):
+            link.add_job(-1)
+        link.run()
+        with pytest.raises(SimulationError):
+            link.add_job(1)
+
+
+class TestSharing:
+    def test_two_simultaneous_jobs_halve_the_rate(self):
+        link = ProcessorSharingLink(_mbps(1))
+        a = link.add_job(125_000)
+        b = link.add_job(125_000)
+        link.run()
+        # Each gets 0.5 Mbps: both finish at t=2.
+        assert a.finish_time == pytest.approx(2.0)
+        assert b.finish_time == pytest.approx(2.0)
+
+    def test_short_job_preempts_share_then_leaves(self):
+        link = ProcessorSharingLink(_mbps(1))
+        long_job = link.add_job(250_000)          # 2 Mbit
+        short_job = link.add_job(62_500)          # 0.5 Mbit
+        link.run()
+        # Shared until the short job finishes at t=1 (0.5 Mbit at 0.5 Mbps),
+        # then the long job runs alone: 2 - 0.5 = 1.5 Mbit left at 1 Mbps.
+        assert short_job.finish_time == pytest.approx(1.0)
+        assert long_job.finish_time == pytest.approx(2.5)
+
+    def test_staggered_arrival(self):
+        link = ProcessorSharingLink(_mbps(1))
+        first = link.add_job(125_000, arrival_time=0.0)   # 1 Mbit
+        second = link.add_job(125_000, arrival_time=0.5)  # 1 Mbit
+        link.run()
+        # First runs alone 0.5s (0.5 Mbit done), then shares: 0.5 Mbit
+        # at 0.5 Mbps -> finishes at 1.5; second: 0.5 Mbit left then alone.
+        assert first.finish_time == pytest.approx(1.5)
+        assert second.finish_time == pytest.approx(2.0)
+
+    def test_makespan(self):
+        link = ProcessorSharingLink(_mbps(10))
+        for second in range(3):
+            link.add_job(10 * 125_000, arrival_time=float(second))
+        link.run()
+        # 30 Mbit total on a 10 Mbps link: work conserving -> 3 seconds.
+        assert link.makespan() == pytest.approx(3.0)
+
+
+class TestSaturationBound:
+    def test_bound_formula(self):
+        # 10 MB jobs on 1000 Mbps: ~11.9 jobs/s.
+        bound = saturation_rate_bound(10 * (1 << 20), 1000e6)
+        assert bound == pytest.approx(11.92, rel=0.01)
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            saturation_rate_bound(0, 1e6)
+
+
+class TestCrossValidationAgainstFluidModel:
+    """The tick-based fluid simulator and the exact PS model must agree —
+    two independent implementations of the same physics."""
+
+    def test_makespan_agreement_under_oversubscription(self):
+        # 40 Mbit of demand on a 10 Mbps link, arrivals over 2 seconds.
+        sizes_and_arrivals = [(10 * 125_000, float(s)) for s in range(4)]
+
+        ps = ProcessorSharingLink(_mbps(10))
+        for size, arrival in sizes_and_arrivals:
+            ps.add_job(size, arrival)
+        ps.run()
+
+        fluid = FluidSimulator([Link("l", _mbps(10))], dt=0.05)
+        transfers = [
+            fluid.add_transfer(size, ["l"], start_time=arrival)
+            for size, arrival in sizes_and_arrivals
+        ]
+        fluid.run(10.0)
+
+        assert max(t.finish_time for t in transfers) == pytest.approx(
+            ps.makespan(), abs=0.1
+        )
+
+    def test_steady_throughput_agreement(self):
+        # Sustained oversubscription: both models pin at capacity.
+        ps = ProcessorSharingLink(_mbps(10))
+        fluid = FluidSimulator([Link("l", _mbps(10))], dt=0.05)
+        for second in range(10):
+            for _ in range(3):
+                ps.add_job(125_000 * 5, float(second))
+                fluid.add_transfer(125_000 * 5, ["l"], start_time=float(second))
+        ps.run()
+        fluid.run(12.0)
+        ps_throughput = ps.throughput_between(2.0, 10.0)
+        fluid_throughput = fluid.mean_throughput_bps("l", start=2.0, end=10.0)
+        assert ps_throughput == pytest.approx(_mbps(10), rel=0.05)
+        assert fluid_throughput == pytest.approx(ps_throughput, rel=0.05)
+
+    def test_fig7_crossover_agrees_with_the_analytic_bound(self):
+        """The fluid Fig 7 experiment's saturation threshold must match
+        the PS model's capacity/job-size bound."""
+        from repro.core.practical import BandwidthAttackSimulation
+
+        simulation = BandwidthAttackSimulation(vendor="cloudflare")
+        origin_bytes, _ = simulation.per_request_traffic()
+        bound = saturation_rate_bound(origin_bytes, 1000e6)
+        threshold = simulation.saturation_threshold()
+        assert threshold is not None
+        # The smallest integer m at/above the bound.
+        assert threshold == int(bound) + 1

@@ -1,0 +1,43 @@
+"""Unit tests for the TCP/IP framing model."""
+
+import pytest
+
+from repro.netsim.overhead import NullOverheadModel, TcpOverheadModel
+
+
+class TestNullModel:
+    def test_identity(self):
+        model = NullOverheadModel()
+        assert model.framed_size(0) == 0
+        assert model.framed_size(12345) == 12345
+        assert model.connection_setup_bytes() == 0
+
+
+class TestTcpModel:
+    def test_single_segment(self):
+        model = TcpOverheadModel(mss=1460, header_bytes=40)
+        assert model.framed_size(100) == 140
+
+    def test_exact_segment_boundary(self):
+        model = TcpOverheadModel(mss=1460, header_bytes=40)
+        assert model.framed_size(1460) == 1500
+        assert model.framed_size(1461) == 1461 + 80
+
+    def test_zero_payload(self):
+        assert TcpOverheadModel().framed_size(0) == 0
+
+    def test_large_payload_overhead_fraction(self):
+        model = TcpOverheadModel(mss=1460, header_bytes=40)
+        payload = 10 * 1024 * 1024
+        framed = model.framed_size(payload)
+        # ~2.7% framing overhead for full-size segments.
+        assert 1.025 < framed / payload < 1.03
+
+    def test_setup_cost(self):
+        assert TcpOverheadModel(header_bytes=40).connection_setup_bytes() == 200
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TcpOverheadModel(mss=0)
+        with pytest.raises(ValueError):
+            TcpOverheadModel(header_bytes=-1)

@@ -1,0 +1,92 @@
+"""Unit tests for segment-level traffic aggregation."""
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.netsim.overhead import TcpOverheadModel
+from repro.netsim.tap import (
+    BCDN_ORIGIN,
+    CDN_ORIGIN,
+    CLIENT_CDN,
+    FCDN_BCDN,
+    TrafficLedger,
+)
+
+
+def _exchange(connection, body_size=100, cap=None):
+    request = HttpRequest("GET", "/x", headers=[("Host", "h")])
+    response = HttpResponse(200, body=body_size)
+    return connection.exchange(request, response, deliver_cap=cap)
+
+
+class TestLedger:
+    def test_canonical_segment_names(self):
+        assert CLIENT_CDN == "client-cdn"
+        assert CDN_ORIGIN == "cdn-origin"
+        assert FCDN_BCDN == "fcdn-bcdn"
+        assert BCDN_ORIGIN == "bcdn-origin"
+
+    def test_open_connection_tracks(self):
+        ledger = TrafficLedger()
+        connection = ledger.open_connection(CLIENT_CDN)
+        assert ledger.connections == [connection]
+        assert ledger.connections_on(CLIENT_CDN) == [connection]
+        assert ledger.connections_on(CDN_ORIGIN) == []
+
+    def test_segment_stats_aggregate_connections(self):
+        ledger = TrafficLedger()
+        a = ledger.open_connection(CDN_ORIGIN)
+        b = ledger.open_connection(CDN_ORIGIN)
+        _exchange(a, 100)
+        _exchange(a, 200)
+        _exchange(b, 300)
+        stats = ledger.segment_stats(CDN_ORIGIN)
+        assert stats.connection_count == 2
+        assert stats.exchange_count == 3
+        assert stats.response_bytes_sent == (
+            a.response_bytes_sent + b.response_bytes_sent
+        )
+
+    def test_delivered_vs_sent(self):
+        ledger = TrafficLedger()
+        connection = ledger.open_connection(CDN_ORIGIN)
+        _exchange(connection, 1000, cap=50)
+        stats = ledger.segment_stats(CDN_ORIGIN)
+        assert stats.response_bytes_delivered == 50
+        assert stats.response_bytes_sent > 1000
+
+    def test_empty_segment_stats(self):
+        stats = TrafficLedger().segment_stats("nothing-here")
+        assert stats.connection_count == 0
+        assert stats.response_bytes_sent == 0
+
+    def test_segment_names_in_first_seen_order(self):
+        ledger = TrafficLedger()
+        ledger.open_connection(FCDN_BCDN)
+        ledger.open_connection(CLIENT_CDN)
+        ledger.open_connection(FCDN_BCDN)
+        assert ledger.segment_names() == [FCDN_BCDN, CLIENT_CDN]
+
+    def test_all_stats(self):
+        ledger = TrafficLedger()
+        _exchange(ledger.open_connection(CLIENT_CDN), 10)
+        _exchange(ledger.open_connection(CDN_ORIGIN), 20)
+        stats = ledger.all_stats()
+        assert set(stats) == {CLIENT_CDN, CDN_ORIGIN}
+
+    def test_response_bytes_shorthand(self):
+        ledger = TrafficLedger()
+        _exchange(ledger.open_connection(CDN_ORIGIN), 500, cap=10)
+        assert ledger.response_bytes(CDN_ORIGIN, delivered=True) == 10
+        assert ledger.response_bytes(CDN_ORIGIN) > 500
+
+    def test_overhead_model_shared_by_connections(self):
+        ledger = TrafficLedger(overhead=TcpOverheadModel())
+        connection = ledger.open_connection(CDN_ORIGIN)
+        record = _exchange(connection, 100)
+        # Framed size exceeds pure payload size.
+        assert record.response_bytes_sent > HttpResponse(200, body=100).wire_size()
+
+    def test_total_bytes(self):
+        ledger = TrafficLedger()
+        _exchange(ledger.open_connection(CDN_ORIGIN), 100)
+        stats = ledger.segment_stats(CDN_ORIGIN)
+        assert stats.total_bytes == stats.request_bytes + stats.response_bytes_sent

@@ -1,0 +1,71 @@
+"""Tests for trace export/import."""
+
+import io
+
+from repro.core.sbr import SbrAttack
+from repro.http.message import HttpRequest, HttpResponse
+from repro.netsim.tap import CDN_ORIGIN, CLIENT_CDN, TrafficLedger
+from repro.netsim.trace import dump_jsonl, ledger_events, load_jsonl, summarize
+
+MB = 1 << 20
+
+
+def _populated_ledger():
+    ledger = TrafficLedger()
+    for segment, size in ((CLIENT_CDN, 100), (CDN_ORIGIN, 5000), (CDN_ORIGIN, 7000)):
+        connection = ledger.open_connection(segment, client_label="a", server_label="b")
+        request = HttpRequest("GET", "/x", headers=[("Host", "h")])
+        connection.exchange(request, HttpResponse(200, body=size), note=f"{segment}:{size}")
+    return ledger
+
+
+class TestEvents:
+    def test_flattening_preserves_order_and_counts(self):
+        events = ledger_events(_populated_ledger())
+        assert [e.sequence for e in events] == [0, 1, 2]
+        assert [e.segment for e in events] == [CLIENT_CDN, CDN_ORIGIN, CDN_ORIGIN]
+        assert events[1].note == f"{CDN_ORIGIN}:5000"
+
+    def test_round_trip_through_jsonl(self):
+        ledger = _populated_ledger()
+        buffer = io.StringIO()
+        count = dump_jsonl(ledger, buffer)
+        assert count == 3
+        buffer.seek(0)
+        loaded = load_jsonl(buffer)
+        assert loaded == ledger_events(ledger)
+
+    def test_blank_lines_ignored_on_load(self):
+        ledger = _populated_ledger()
+        buffer = io.StringIO()
+        dump_jsonl(ledger, buffer)
+        buffer.write("\n\n")
+        buffer.seek(0)
+        assert len(load_jsonl(buffer)) == 3
+
+    def test_summary_matches_ledger_stats(self):
+        ledger = _populated_ledger()
+        totals = summarize(ledger_events(ledger))
+        for segment in (CLIENT_CDN, CDN_ORIGIN):
+            stats = ledger.segment_stats(segment)
+            assert totals[segment]["exchanges"] == stats.exchange_count
+            assert totals[segment]["response_bytes_sent"] == stats.response_bytes_sent
+            assert (
+                totals[segment]["response_bytes_delivered"]
+                == stats.response_bytes_delivered
+            )
+
+    def test_attack_run_exports_cleanly(self):
+        """An SBR run's ledger is exportable and its summary reproduces
+        the amplification arithmetic."""
+        attack = SbrAttack("gcore", resource_size=1 * MB)
+        deployment = attack.build_deployment()
+        client = deployment.client()
+        client.get("/target.bin?cb=0", range_value="bytes=0-0")
+        events = ledger_events(deployment.ledger)
+        totals = summarize(events)
+        factor = (
+            totals[CDN_ORIGIN]["response_bytes_delivered"]
+            / totals[CLIENT_CDN]["response_bytes_delivered"]
+        )
+        assert factor > 1500

@@ -1,0 +1,127 @@
+"""Tests for access logging and offline log-driven detection."""
+
+import pytest
+
+from repro.core.cachebusting import CacheBuster
+from repro.core.deployment import Deployment
+from repro.defense.detection import RangeAmpDetector
+from repro.origin.accesslog import (
+    AccessLog,
+    AccessLogError,
+    AccessLoggingHandler,
+    feed_detector,
+    parse_log_line,
+)
+from repro.origin.server import OriginServer
+
+from tests.conftest import get, make_origin
+
+
+def _logged_origin(size=100_000):
+    origin = make_origin(size)
+    return AccessLoggingHandler(origin), origin
+
+
+class TestLogging:
+    def test_entry_fields(self):
+        logged, _ = _logged_origin()
+        get(logged, range_value="bytes=0-0")
+        entry = logged.log.entries[0]
+        assert entry.method == "GET"
+        assert entry.target == "/file.bin"
+        assert entry.status == 206
+        assert entry.response_bytes == 1
+        assert entry.range_header == "bytes=0-0"
+        assert entry.client == "-"  # no forwarding header
+
+    def test_client_attribution_from_header(self):
+        logged, _ = _logged_origin()
+        logged.handle(
+            __import__("repro.http.message", fromlist=["HttpRequest"]).HttpRequest(
+                "GET",
+                "/file.bin",
+                headers=[("Host", "h"), ("X-Forwarded-For", "198.51.100.7")],
+            )
+        )
+        assert logged.log.entries[0].client == "198.51.100.7"
+
+    def test_total_bytes_reconciles_with_origin_egress(self):
+        logged, origin = _logged_origin(10_000)
+        get(logged)
+        get(logged, range_value="bytes=0-99")
+        assert logged.log.total_bytes() == 10_000 + 100
+
+    def test_cdn_forward_headers_attribute_the_edge(self):
+        """Through a CDN, the origin log sees the CDN's client header —
+        not the attacker (the paper's visibility point)."""
+        origin = make_origin(10_000)
+        logged = AccessLoggingHandler(origin)
+        deployment = Deployment.single("gcore", OriginServer())
+        deployment.nodes[0].upstream = logged
+        deployment.client().get("/file.bin", range_value="bytes=0-0")
+        assert logged.log.entries[0].client == "198.51.100.7"
+
+
+class TestRoundTrip:
+    def test_line_format_and_parse(self):
+        logged, _ = _logged_origin()
+        get(logged, range_value="bytes=0-0")
+        line = logged.log.lines()[0]
+        assert '"GET /file.bin HTTP/1.1" 206 1' in line
+        parsed = parse_log_line(line)
+        assert parsed == logged.log.entries[0]
+
+    def test_parse_dash_bytes(self):
+        line = ('1.2.3.4 - - [05/Jun/2020:08:00:00 +0000] "GET /x HTTP/1.1" '
+                '304 - "-" "curl/7.58" "-"')
+        entry = parse_log_line(line)
+        assert entry.response_bytes == 0
+        assert entry.status == 304
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "nonsense", '1.2.3.4 [no] "GET / HTTP/1.1" 200 1 "-" "-" "-"'],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AccessLogError):
+            parse_log_line(bad)
+
+
+class TestOfflineDetection:
+    def test_sbr_flood_detected_from_the_log(self):
+        logged, _ = _logged_origin()
+        buster = CacheBuster()
+        from repro.http.message import HttpRequest
+
+        for _ in range(25):
+            logged.handle(
+                HttpRequest(
+                    "GET",
+                    buster.bust("/file.bin"),
+                    headers=[
+                        ("Host", "h"),
+                        ("Range", "bytes=0-0"),
+                        ("X-Forwarded-For", "203.0.113.66"),
+                    ],
+                )
+            )
+        # Serialize, re-parse, and analyze — the full offline pipeline.
+        entries = [parse_log_line(line) for line in logged.log.lines()]
+        detector = feed_detector(RangeAmpDetector(), entries)
+        verdict = detector.verdict("203.0.113.66")
+        assert verdict.suspicious
+        assert verdict.tiny_range_requests == 25
+
+    def test_benign_log_stays_clean(self):
+        logged, _ = _logged_origin()
+        from repro.http.message import HttpRequest
+
+        for _ in range(25):
+            logged.handle(
+                HttpRequest(
+                    "GET", "/file.bin",
+                    headers=[("Host", "h"), ("X-Forwarded-For", "198.51.100.9")],
+                )
+            )
+        detector = feed_detector(RangeAmpDetector(), logged.log.entries)
+        assert not detector.verdict("198.51.100.9").suspicious

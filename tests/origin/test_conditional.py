@@ -1,0 +1,96 @@
+"""Tests for RFC 7233 §3.1/§3.2 conditions: method scoping and If-Range."""
+
+import pytest
+
+from repro.http.message import HttpRequest
+from repro.origin.resource import Resource
+from repro.origin.server import OriginServer
+
+
+@pytest.fixture
+def origin():
+    server = OriginServer()
+    server.add_resource(Resource(path="/file.bin", body=1000))
+    return server
+
+
+def _request(origin, method="GET", range_value=None, if_range=None):
+    headers = [("Host", "h")]
+    if range_value is not None:
+        headers.append(("Range", range_value))
+    if if_range is not None:
+        headers.append(("If-Range", if_range))
+    return origin.handle(HttpRequest(method, "/file.bin", headers=headers))
+
+
+class TestMethodScoping:
+    def test_range_ignored_on_head(self, origin):
+        """RFC 7233 §3.1: Range applies to GET only."""
+        response = _request(origin, method="HEAD", range_value="bytes=0-0")
+        assert response.status == 200
+        assert response.headers.get("Content-Length") == "1000"
+        assert "Content-Range" not in response.headers
+        assert len(response.body) == 0
+
+    def test_range_honored_on_get(self, origin):
+        assert _request(origin, range_value="bytes=0-0").status == 206
+
+
+class TestIfRange:
+    def test_matching_etag_serves_partial(self, origin):
+        etag = origin.store.get("/file.bin").etag
+        response = _request(origin, range_value="bytes=0-0", if_range=etag)
+        assert response.status == 206
+        assert len(response.body) == 1
+
+    def test_mismatching_etag_serves_full(self, origin):
+        response = _request(
+            origin, range_value="bytes=0-0", if_range='"stale-etag-value"'
+        )
+        assert response.status == 200
+        assert len(response.body) == 1000
+
+    def test_weak_etag_never_matches(self, origin):
+        etag = origin.store.get("/file.bin").etag
+        response = _request(origin, range_value="bytes=0-0", if_range=f"W/{etag}")
+        assert response.status == 200
+
+    def test_matching_date_serves_partial(self, origin):
+        date = origin.store.get("/file.bin").last_modified
+        response = _request(origin, range_value="bytes=0-0", if_range=date)
+        assert response.status == 206
+
+    def test_mismatching_date_serves_full(self, origin):
+        response = _request(
+            origin, range_value="bytes=0-0", if_range="Mon, 01 Jan 2001 00:00:00 GMT"
+        )
+        assert response.status == 200
+
+    def test_if_range_without_range_is_inert(self, origin):
+        response = _request(origin, if_range='"anything"')
+        assert response.status == 200
+
+    def test_if_range_passes_through_a_cdn(self):
+        """A stale If-Range downgrades the upstream fetch to a 200 even
+        through a lazy CDN; the client still gets its range served from
+        the full body (the proxy rule)."""
+        from tests.conftest import make_node, make_origin
+
+        origin = make_origin(1000)
+        node = make_node("tencent", origin)  # suffix ranges are lazy
+        response = node.handle(
+            HttpRequest(
+                "GET",
+                "/file.bin",
+                headers=[
+                    ("Host", "h"),
+                    ("Range", "bytes=-5"),
+                    ("If-Range", '"stale"'),
+                ],
+            )
+        )
+        # The origin replied 200 (validator mismatch); the CDN, holding
+        # the full body, answers the requested range itself.
+        assert origin.stats.full_responses == 1
+        assert response.status == 206
+        assert len(response.body) == 5

@@ -1,0 +1,79 @@
+"""Unit tests for the origin resource store."""
+
+import pytest
+
+from repro.errors import ResourceNotFoundError
+from repro.origin.resource import Resource, ResourceStore, guess_content_type
+
+
+class TestGuessContentType:
+    @pytest.mark.parametrize(
+        ("path", "expected"),
+        [
+            ("/a.jpg", "image/jpeg"),
+            ("/a.JPEG", "image/jpeg"),
+            ("/movie.mp4", "video/mp4"),
+            ("/index.html", "text/html"),
+            ("/blob", "application/octet-stream"),
+            ("/archive.zip", "application/zip"),
+        ],
+    )
+    def test_suffix_mapping(self, path, expected):
+        assert guess_content_type(path) == expected
+
+
+class TestResource:
+    def test_synthetic_by_size(self):
+        resource = Resource(path="/big.bin", body=1024 * 1024)
+        assert resource.size == 1024 * 1024
+        assert resource.content_type == "application/octet-stream"
+
+    def test_explicit_bytes(self):
+        resource = Resource(path="/a.txt", body=b"hello")
+        assert resource.size == 5
+        assert resource.content.materialize() == b"hello"
+        assert resource.content_type == "text/plain"
+
+    def test_explicit_content_type_wins(self):
+        resource = Resource(path="/a.txt", body=b"x", content_type="application/json")
+        assert resource.content_type == "application/json"
+
+    def test_path_must_be_absolute(self):
+        with pytest.raises(ValueError):
+            Resource(path="relative.bin", body=1)
+
+    def test_etag_is_deterministic_and_quoted(self):
+        a = Resource(path="/a.bin", body=100)
+        b = Resource(path="/a.bin", body=100)
+        assert a.etag == b.etag
+        assert a.etag.startswith('"') and a.etag.endswith('"')
+
+    def test_etag_differs_with_size(self):
+        assert Resource(path="/a.bin", body=100).etag != Resource(path="/a.bin", body=101).etag
+
+
+class TestResourceStore:
+    def test_add_and_get(self):
+        store = ResourceStore()
+        resource = store.add_synthetic("/x.bin", 42)
+        assert store.get("/x.bin") is resource
+        assert "/x.bin" in store
+        assert len(store) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ResourceNotFoundError) as exc_info:
+            ResourceStore().get("/missing")
+        assert exc_info.value.path == "/missing"
+
+    def test_replace_same_path(self):
+        store = ResourceStore()
+        store.add_synthetic("/x.bin", 1)
+        store.add_synthetic("/x.bin", 2)
+        assert store.get("/x.bin").size == 2
+        assert len(store) == 1
+
+    def test_paths_sorted(self):
+        store = ResourceStore()
+        store.add_synthetic("/b.bin", 1)
+        store.add_synthetic("/a.bin", 1)
+        assert store.paths() == ["/a.bin", "/b.bin"]

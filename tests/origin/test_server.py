@@ -1,0 +1,152 @@
+"""Unit tests for the Apache-like origin server."""
+
+import pytest
+
+from repro.http.message import HttpRequest
+from repro.http.multipart import MultipartByteranges
+from repro.origin.server import OriginServer
+
+
+@pytest.fixture
+def origin():
+    server = OriginServer()
+    server.add_synthetic_resource("/file.bin", 1000)
+    return server
+
+
+def _get(server, target="/file.bin", range_value=None, method="GET"):
+    headers = [("Host", "example.com")]
+    if range_value is not None:
+        headers.append(("Range", range_value))
+    return server.handle(HttpRequest(method, target, headers=headers))
+
+
+class TestPlainResponses:
+    def test_full_200(self, origin):
+        response = _get(origin)
+        assert response.status == 200
+        assert len(response.body) == 1000
+        assert response.headers.get("Content-Length") == "1000"
+        assert response.headers.get("Accept-Ranges") == "bytes"
+        assert response.headers.get("Server", "").startswith("Apache")
+
+    def test_404(self, origin):
+        assert _get(origin, target="/nope").status == 404
+
+    def test_unsupported_method(self, origin):
+        assert _get(origin, method="POST").status == 400
+
+    def test_head_has_no_body(self, origin):
+        response = _get(origin, method="HEAD")
+        assert response.status == 200
+        assert len(response.body) == 0
+        assert response.headers.get("Content-Length") == "1000"
+
+    def test_query_string_ignored_for_lookup(self, origin):
+        assert _get(origin, target="/file.bin?cb=123").status == 200
+
+
+class TestSingleRangeResponses:
+    def test_first_byte(self, origin):
+        response = _get(origin, range_value="bytes=0-0")
+        assert response.status == 206
+        assert len(response.body) == 1
+        assert response.headers.get("Content-Range") == "bytes 0-0/1000"
+        assert response.headers.get("Content-Length") == "1"
+
+    def test_suffix(self, origin):
+        response = _get(origin, range_value="bytes=-5")
+        assert response.status == 206
+        assert response.headers.get("Content-Range") == "bytes 995-999/1000"
+
+    def test_open_ended(self, origin):
+        response = _get(origin, range_value="bytes=990-")
+        assert response.status == 206
+        assert len(response.body) == 10
+
+    def test_clamped_last(self, origin):
+        response = _get(origin, range_value="bytes=900-5000")
+        assert response.headers.get("Content-Range") == "bytes 900-999/1000"
+
+    def test_range_content_matches_slice(self, origin):
+        full = _get(origin).body.materialize()
+        partial = _get(origin, range_value="bytes=10-19").body.materialize()
+        assert partial == full[10:20]
+
+    def test_416_out_of_bounds(self, origin):
+        response = _get(origin, range_value="bytes=5000-6000")
+        assert response.status == 416
+        assert response.headers.get("Content-Range") == "bytes */1000"
+        assert len(response.body) == 0
+
+    def test_malformed_range_ignored(self, origin):
+        response = _get(origin, range_value="bytes=zzz")
+        assert response.status == 200
+        assert len(response.body) == 1000
+
+
+class TestMultiRangeResponses:
+    def test_disjoint_multipart(self, origin):
+        response = _get(origin, range_value="bytes=0-1,10-19")
+        assert response.status == 206
+        assert response.content_type.startswith("multipart/byteranges")
+        boundary = response.content_type.split("boundary=")[1]
+        multipart = MultipartByteranges.parse(response.body.materialize(), boundary)
+        assert len(multipart) == 2
+        assert response.headers.get("Content-Length") == str(len(response.body))
+
+    def test_single_satisfiable_of_multi_is_single_part(self, origin):
+        response = _get(origin, range_value="bytes=0-0,5000-6000")
+        assert response.status == 206
+        assert response.headers.get("Content-Range") == "bytes 0-0/1000"
+
+    def test_overlapping_downgraded_to_200(self, origin):
+        """Apache's CVE-2011-3192 fix: abusive multi-range -> full 200."""
+        response = _get(origin, range_value="bytes=0-,0-,0-")
+        assert response.status == 200
+        assert len(response.body) == 1000
+
+    def test_too_many_ranges_downgraded(self):
+        server = OriginServer(max_ranges=3)
+        server.add_synthetic_resource("/file.bin", 1000)
+        response = _get(server, range_value="bytes=0-0,2-2,4-4,6-6")
+        assert response.status == 200
+
+    def test_overlap_guard_can_be_disabled(self):
+        server = OriginServer(reject_overlapping=False)
+        server.add_synthetic_resource("/file.bin", 1000)
+        response = _get(server, range_value="bytes=0-,0-")
+        assert response.status == 206
+        assert response.content_type.startswith("multipart/byteranges")
+
+
+class TestRangeSupportDisabled:
+    """The OBR attacker's origin configuration."""
+
+    def test_range_header_ignored(self):
+        server = OriginServer(range_support=False)
+        server.add_synthetic_resource("/file.bin", 1000)
+        response = _get(server, range_value="bytes=0-0")
+        assert response.status == 200
+        assert len(response.body) == 1000
+
+    def test_no_accept_ranges_header(self):
+        server = OriginServer(range_support=False)
+        server.add_synthetic_resource("/file.bin", 1000)
+        response = _get(server)
+        assert "Accept-Ranges" not in response.headers
+
+
+class TestStats:
+    def test_counters(self, origin):
+        _get(origin)
+        _get(origin, range_value="bytes=0-0")
+        _get(origin, range_value="bytes=0-1,5-9")
+        _get(origin, range_value="bytes=9999-")
+        stats = origin.stats
+        assert stats.requests == 4
+        assert stats.full_responses == 1
+        assert stats.partial_responses == 1
+        assert stats.multipart_responses == 1
+        assert stats.not_satisfiable == 1
+        assert stats.bytes_sent > 1000

@@ -1,0 +1,39 @@
+"""Tests for markdown table rendering."""
+
+import pytest
+
+from repro.reporting.render import render_markdown_table
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        output = render_markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = output.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert lines[3] == "| 3 | 4 |"
+
+    def test_pipes_escaped(self):
+        output = render_markdown_table(["x"], [["a|b"]])
+        assert "a\\|b" in output
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        output = render_markdown_table(["only"], [])
+        assert output.splitlines() == ["| only |", "|---|"]
+
+    def test_renders_a_real_table(self):
+        from repro.reporting.paper_values import PAPER_TABLE4_FACTORS
+
+        MB = 1 << 20
+        rows = [
+            [vendor, factors[1 * MB]]
+            for vendor, factors in sorted(PAPER_TABLE4_FACTORS.items())
+        ]
+        output = render_markdown_table(["CDN", "1MB factor"], rows)
+        assert output.count("\n") == len(rows) + 1
+        assert "| akamai | 1707 |" in output

@@ -1,0 +1,61 @@
+"""Unit tests for plain-text rendering."""
+
+import pytest
+
+from repro.reporting.render import format_bytes, render_sparkline, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        output = render_table(["name", "n"], [["akamai", 1], ["cf", 10750]])
+        lines = output.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert lines[2].startswith("akamai")
+        # All separator positions line up.
+        assert len({line.index("|") for line in (lines[0], lines[2], lines[3])} ) == 1
+
+    def test_cells_stringified(self):
+        output = render_table(["x"], [[3.14159]])
+        assert "3.14159" in output
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        output = render_table(["a"], [])
+        assert output.splitlines()[0] == "a"
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        line = render_sparkline([0, 1, 2, 3, 4])
+        assert len(line) == 5
+        assert line[-1] == "█"
+
+    def test_downsampled_to_width(self):
+        line = render_sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_all_zero(self):
+        assert set(render_sparkline([0, 0, 0])) == {" "}
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        ("count", "expected"),
+        [
+            (0, "0B"),
+            (999, "999B"),
+            (1024, "1.00KiB"),
+            (1536, "1.50KiB"),
+            (10 * 1024 * 1024, "10.00MiB"),
+            (3 * 1024**3, "3.00GiB"),
+        ],
+    )
+    def test_formatting(self, count, expected):
+        assert format_bytes(count) == expected

@@ -1,0 +1,58 @@
+"""Tests for the exception taxonomy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_class",
+        [
+            errors.HttpError,
+            errors.HeaderError,
+            errors.MessageError,
+            errors.RangeError,
+            errors.RangeParseError,
+            errors.MultipartError,
+            errors.NetworkError,
+            errors.SimulationError,
+            errors.OriginError,
+            errors.CdnError,
+            errors.RequestRejectedError,
+            errors.UnknownVendorError,
+            errors.ConfigurationError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exception_class):
+        assert issubclass(exception_class, errors.ReproError)
+
+    def test_range_errors_are_http_errors(self):
+        assert issubclass(errors.RangeParseError, errors.HttpError)
+        assert issubclass(errors.RangeNotSatisfiableError, errors.RangeError)
+
+    def test_one_except_catches_the_library(self):
+        """The promise the hierarchy makes to callers."""
+        from repro.http.ranges import parse_range_header
+
+        with pytest.raises(errors.ReproError):
+            parse_range_header("garbage")
+
+
+class TestPayloadCarriers:
+    def test_not_satisfiable_carries_length(self):
+        error = errors.RangeNotSatisfiableError("nope", complete_length=1234)
+        assert error.complete_length == 1234
+
+    def test_rejection_carries_status(self):
+        error = errors.RequestRejectedError("too big", status_code=431)
+        assert error.status_code == 431
+
+    def test_unknown_vendor_carries_name(self):
+        error = errors.UnknownVendorError("notacdn")
+        assert error.name == "notacdn"
+        assert "notacdn" in str(error)
+
+    def test_resource_not_found_carries_path(self):
+        error = errors.ResourceNotFoundError("/missing.bin")
+        assert error.path == "/missing.bin"
