@@ -12,13 +12,13 @@ import pytest
 from repro.reporting.figures import default_fig6_sizes, fig6_series
 from repro.reporting.render import render_table
 
-from benchmarks.conftest import save_artifact
+from benchmarks.conftest import benchmark_runner, save_artifact
 
 MB = 1 << 20
 
 
 def _regenerate():
-    return fig6_series(sizes=default_fig6_sizes())
+    return fig6_series(sizes=default_fig6_sizes(), runner=benchmark_runner())
 
 
 def test_fig6_sbr_curves(benchmark, output_dir):

@@ -9,21 +9,25 @@ the uplink pins at capacity in the paper's m = 11-14 band (7b).
 
 import pytest
 
-from repro.core.practical import BandwidthAttackSimulation
+from repro.reporting.figures import fig7_series
 from repro.reporting.paper_values import (
     PAPER_FIG7_FULL_SATURATION_M,
     PAPER_FIG7_NEAR_SATURATION_M,
 )
 from repro.reporting.render import render_sparkline, render_table
 
-from benchmarks.conftest import save_artifact
+from benchmarks.conftest import benchmark_runner, save_artifact
 
 MB = 1 << 20
 
 
 def _regenerate():
-    simulation = BandwidthAttackSimulation(vendor="cloudflare", resource_size=10 * MB)
-    return simulation.sweep(ms=tuple(range(1, 16)))
+    return fig7_series(
+        ms=tuple(range(1, 16)),
+        vendor="cloudflare",
+        resource_size=10 * MB,
+        runner=benchmark_runner(),
+    )
 
 
 def test_fig7_bandwidth(benchmark, output_dir):

@@ -9,7 +9,7 @@ from repro.reporting.paper_values import PAPER_TABLE4_FACTORS
 from repro.reporting.render import render_table
 from repro.reporting.tables import table4_rows
 
-from benchmarks.conftest import save_artifact
+from benchmarks.conftest import benchmark_runner, save_artifact
 
 MB = 1 << 20
 SIZES = (1 * MB, 10 * MB, 25 * MB)
@@ -21,7 +21,7 @@ DEFAULT_TOLERANCE = 0.08
 
 
 def _regenerate():
-    return table4_rows(sizes=SIZES)
+    return table4_rows(sizes=SIZES, runner=benchmark_runner())
 
 
 def test_table4_sbr_factors(benchmark, output_dir):

@@ -9,7 +9,7 @@ from repro.reporting.paper_values import PAPER_TABLE5
 from repro.reporting.render import render_table
 from repro.reporting.tables import table5_rows
 
-from benchmarks.conftest import save_artifact
+from benchmarks.conftest import benchmark_runner, save_artifact
 
 #: Tolerances: max n falls out of header-limit arithmetic (tight);
 #: traffic and factor absorb the capture-model difference (see
@@ -23,7 +23,7 @@ FACTOR_TOLERANCE = 0.35
 
 
 def _regenerate():
-    return table5_rows()
+    return table5_rows(runner=benchmark_runner())
 
 
 def test_table5_obr_factors(benchmark, output_dir):

@@ -4,15 +4,29 @@ Every ``bench_*`` module regenerates one of the paper's tables or
 figures.  Besides timing the regeneration with pytest-benchmark, each
 bench renders its artifact to ``benchmarks/output/`` so a run leaves the
 full paper-vs-measured record on disk (EXPERIMENTS.md links there).
+
+The sweep benches regenerate through :mod:`repro.runner` by default
+(worker count from ``REPRO_BENCH_WORKERS``, else the cpu count).  Set
+``REPRO_BENCH_SERIAL=1`` — or the runner's own ``REPRO_RUNNER_SERIAL=1``
+— to force the legacy serial in-process path; results are identical
+either way (see ``tests/runner/test_equivalence.py``).
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Benchmark-level serial escape hatch.
+BENCH_SERIAL_ENV = "REPRO_BENCH_SERIAL"
+#: Worker count override for the bench runner.
+BENCH_WORKERS_ENV = "REPRO_BENCH_WORKERS"
 
 
 @pytest.fixture(scope="session")
@@ -21,8 +35,40 @@ def output_dir() -> Path:
     return OUTPUT_DIR
 
 
+def benchmark_runner() -> Optional[object]:
+    """The GridRunner sweeps should regenerate through, or ``None``.
+
+    ``None`` (when ``REPRO_BENCH_SERIAL=1``) selects the legacy serial
+    in-process loops in ``repro.reporting``.
+    """
+    if os.environ.get(BENCH_SERIAL_ENV, "").strip() not in ("", "0"):
+        return None
+    from repro.runner import GridRunner
+
+    workers_env = os.environ.get(BENCH_WORKERS_ENV, "").strip()
+    workers = int(workers_env) if workers_env else None
+    return GridRunner(workers=workers)
+
+
 def save_artifact(output_dir: Path, name: str, content: str) -> None:
-    """Write one rendered table/figure and echo it to the terminal."""
+    """Write one rendered table/figure and echo it to the terminal.
+
+    The write is atomic (temp file + ``os.replace``) so concurrent bench
+    processes — ``pytest -n`` or parallel runner workers sharing the
+    output directory — never interleave partial artifacts.
+    """
     path = output_dir / name
-    path.write_text(content, encoding="utf-8")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{name}.", suffix=".tmp", dir=str(output_dir)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     print(f"\n=== {name} ===\n{content}")

@@ -84,6 +84,23 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("output_dir", nargs="?", default="report")
     report.add_argument("--quick", action="store_true", help="trim the sweeps")
 
+    run_all = commands.add_parser(
+        "run-all",
+        help="regenerate Tables IV-V and Figs 6-7 in one parallel grid run",
+    )
+    run_all.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: REPRO_RUNNER_WORKERS or cpu count; "
+             "1 means serial)",
+    )
+    run_all.add_argument(
+        "--quick", action="store_true", help="trim the grids for a smoke run"
+    )
+    run_all.add_argument(
+        "--output-dir", default=None,
+        help="also write the rendered artifacts into this directory",
+    )
+
     return parser
 
 
@@ -245,6 +262,68 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.runner.runall import run_all, write_report
+
+    report = run_all(workers=args.workers, quick=args.quick)
+    print(
+        f"run-all: {report.cell_count} cells over {report.workers} worker(s) "
+        f"in {report.duration_s:.1f}s "
+        f"({report.cell_seconds:.1f}s of cell work, {report.speedup:.1f}x)"
+    )
+
+    sizes = sorted(report.table4[0].factors) if report.table4 else []
+    print("\nTable IV - SBR amplification factors:")
+    print(
+        render_table(
+            ["CDN", "Exploited Range Case"] + [f"{s // MB}MB" for s in sizes],
+            [
+                [row.display_name, " & ".join(row.exploited_cases)]
+                + [f"{row.factors[s]:.0f}" for s in sizes]
+                for row in report.table4
+            ],
+        )
+    )
+    print("\nTable V - OBR amplification factors:")
+    print(
+        render_table(
+            ["FCDN", "BCDN", "Max n", "BCDN->FCDN", "Factor"],
+            [
+                [
+                    row.fcdn,
+                    row.bcdn,
+                    row.max_n,
+                    format_bytes(row.fcdn_bcdn_traffic),
+                    f"{row.factor:.1f}",
+                ]
+                for row in report.table5
+            ],
+        )
+    )
+    print("\nFig 6a - SBR factor vs size:")
+    for series in report.fig6:
+        print(f"  {series.vendor:<12} {render_sparkline(series.factors, width=40)}")
+    print("\nFig 7 - origin egress vs m:")
+    print(
+        render_table(
+            ["m", "steady origin Mbps", "peak client Kbps", "saturated"],
+            [
+                [
+                    result.m,
+                    f"{result.steady_origin_mbps:.1f}",
+                    f"{result.peak_client_kbps:.1f}",
+                    "yes" if result.saturated else "no",
+                ]
+                for result in report.fig7
+            ],
+        )
+    )
+    if args.output_dir is not None:
+        for path in write_report(report, args.output_dir):
+            print(f"wrote {path}")
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     import json
 
@@ -277,6 +356,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_matrix()
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "run-all":
+            return _cmd_run_all(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

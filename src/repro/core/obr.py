@@ -202,3 +202,27 @@ def vulnerable_combinations() -> list:
         for bcdn in OBR_BACKENDS
         if fcdn != bcdn
     ]
+
+
+def obr_grid(
+    combinations: Optional[list] = None,
+    resource_size: int = 1024,
+    overlap_count: int = 0,
+    name: str = "table5-obr",
+):
+    """Table V's cascade sweep as an :class:`~repro.runner.grid.ExperimentGrid`.
+
+    ``overlap_count=0`` keeps the per-cell max-n search (the Table V
+    methodology); a positive count pins n for every cell.
+    """
+    from repro.runner.experiments import obr_cell
+    from repro.runner.grid import ExperimentGrid
+
+    combos = list(combinations) if combinations is not None else vulnerable_combinations()
+    return ExperimentGrid(
+        name,
+        [
+            obr_cell(fcdn, bcdn, resource_size=resource_size, overlap_count=overlap_count)
+            for fcdn, bcdn in combos
+        ],
+    )

@@ -80,6 +80,7 @@ class BandwidthAttackSimulation:
         duration_s: float = 30.0,
         drain_s: float = 10.0,
         dt: float = 0.1,
+        per_request: Optional[Tuple[int, int]] = None,
     ) -> None:
         self.vendor = vendor
         self.resource_size = resource_size
@@ -88,7 +89,13 @@ class BandwidthAttackSimulation:
         self.duration_s = duration_s
         self.drain_s = drain_s
         self.dt = dt
-        self._per_request: Optional[Tuple[int, int]] = None
+        # ``per_request`` pins the step-1 probe result so a caller that
+        # already measured (origin_bytes, client_bytes) — e.g. the
+        # parallel runner sharing one probe across all 15 Fig 7 cells —
+        # skips the redundant SBR run.
+        self._per_request: Optional[Tuple[int, int]] = (
+            tuple(per_request) if per_request is not None else None  # type: ignore[assignment]
+        )
 
     # -- step 1: wire-exact per-request traffic ----------------------------------
 
@@ -158,3 +165,37 @@ class BandwidthAttackSimulation:
             if result.saturated:
                 return result.m
         return None
+
+
+def flood_grid(
+    ms: Sequence[int] = tuple(range(1, 16)),
+    vendor: str = "cloudflare",
+    resource_size: int = 10 * MB,
+    origin_uplink_mbps: float = 1000.0,
+    per_request: Optional[Tuple[int, int]] = None,
+):
+    """Fig 7's sweep as an :class:`~repro.runner.grid.ExperimentGrid`.
+
+    ``per_request=None`` measures the per-request SBR traffic once here
+    (memoized) and shares it with every cell, so the parallel sweep does
+    not run the probe 15 times.
+    """
+    from repro.runner.experiments import flood_cell
+    from repro.runner.grid import ExperimentGrid
+    from repro.runner.memo import sbr_per_request_traffic
+
+    if per_request is None:
+        per_request = sbr_per_request_traffic(vendor, resource_size)
+    return ExperimentGrid(
+        "fig7-flood",
+        [
+            flood_cell(
+                vendor,
+                m,
+                resource_size=resource_size,
+                origin_uplink_mbps=origin_uplink_mbps,
+                per_request=per_request,
+            )
+            for m in ms
+        ],
+    )

@@ -161,3 +161,23 @@ def sweep_resource_sizes(
     return [
         SbrAttack(vendor, resource_size=size, config=config).run() for size in sizes
     ]
+
+
+def sbr_grid(
+    vendors: Optional[List[str]] = None,
+    sizes: Tuple[int, ...] = (1 * MB, 10 * MB, 25 * MB),
+    name: str = "sbr",
+):
+    """The vendor x size sweep as an :class:`~repro.runner.grid.ExperimentGrid`.
+
+    One grid serves both Table IV and Fig 6: build it with the union of
+    their size axes and the grid dedups overlapping cells.
+    """
+    from repro.cdn.vendors import all_vendor_names
+    from repro.runner.experiments import sbr_cell
+    from repro.runner.grid import ExperimentGrid
+
+    names = list(vendors) if vendors is not None else all_vendor_names()
+    return ExperimentGrid(
+        name, [sbr_cell(vendor, size) for vendor in names for size in sizes]
+    )

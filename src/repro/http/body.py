@@ -96,11 +96,14 @@ class SyntheticBody(Body):
     of the body and the body of a slice.
     """
 
-    __slots__ = ("_length", "_pattern", "_offset")
+    __slots__ = ("_length", "_pattern", "_offset", "_slice_cache")
 
     #: Materializing more than this many bytes is almost always a bug in
     #: calling code (the whole point of the class is to avoid it).
     MATERIALIZE_LIMIT = 256 * 1024 * 1024
+
+    #: Distinct (start, stop) windows remembered per instance.
+    SLICE_CACHE_LIMIT = 64
 
     def __init__(self, length: int, pattern: bytes = DEFAULT_PATTERN, offset: int = 0) -> None:
         if length < 0:
@@ -110,6 +113,10 @@ class SyntheticBody(Body):
         self._length = length
         self._pattern = bytes(pattern)
         self._offset = offset % len(pattern)
+        # Instances are immutable, so identical slices can be shared.
+        # An n-part overlapping multipart (the OBR shape) slices the
+        # same window n times; without the cache that is n allocations.
+        self._slice_cache: dict = {}
 
     @property
     def pattern(self) -> bytes:
@@ -125,7 +132,13 @@ class SyntheticBody(Body):
     def slice(self, start: int, stop: int) -> "SyntheticBody":
         start = max(0, min(start, self._length))
         stop = max(start, min(stop, self._length))
-        return SyntheticBody(stop - start, self._pattern, self._offset + start)
+        cached = self._slice_cache.get((start, stop))
+        if cached is not None:
+            return cached
+        sliced = SyntheticBody(stop - start, self._pattern, self._offset + start)
+        if len(self._slice_cache) < self.SLICE_CACHE_LIMIT:
+            self._slice_cache[(start, stop)] = sliced
+        return sliced
 
     def materialize(self) -> bytes:
         if self._length > self.MATERIALIZE_LIMIT:

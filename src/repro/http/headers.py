@@ -47,10 +47,16 @@ class Headers:
     38
     """
 
-    __slots__ = ("_items",)
+    __slots__ = ("_items", "_size_cache")
 
     def __init__(self, items: Optional[Iterable[Tuple[str, str]]] = None) -> None:
         self._items: List[Tuple[str, str]] = []
+        # Memoized wire_size(); invalidated by every mutation.  The
+        # traffic accounting calls wire_size() at least twice per
+        # message (origin stats + connection framing), and vendor
+        # profiles re-measure their fixed response header blocks on
+        # every exchange of a sweep.
+        self._size_cache: Optional[int] = None
         if items is not None:
             for name, value in items:
                 self.add(name, value)
@@ -63,6 +69,7 @@ class Headers:
         _check_name(name)
         _check_value(value)
         self._items.append((name, value))
+        self._size_cache = None
 
     def set(self, name: str, value: str) -> None:
         """Replace all fields named ``name`` with a single field.
@@ -86,12 +93,14 @@ class Headers:
         if not replaced:
             kept.append((name, value))
         self._items = kept
+        self._size_cache = None
 
     def remove(self, name: str) -> int:
         """Delete all fields named ``name``; return how many were removed."""
         lowered = name.lower()
         before = len(self._items)
         self._items = [(n, v) for n, v in self._items if n.lower() != lowered]
+        self._size_cache = None
         return before - len(self._items)
 
     # -- lookup -------------------------------------------------------------
@@ -149,6 +158,7 @@ class Headers:
         """Return an independent copy of this header map."""
         clone = Headers()
         clone._items = list(self._items)
+        clone._size_cache = self._size_cache
         return clone
 
     # -- serialization ------------------------------------------------------
@@ -160,9 +170,13 @@ class Headers:
         )
 
     def wire_size(self) -> int:
-        """Exact byte length of :meth:`serialize`'s output."""
-        # name + ": " + value + CRLF
-        return sum(len(name) + len(value) + 4 for name, value in self._items)
+        """Exact byte length of :meth:`serialize`'s output (memoized)."""
+        if self._size_cache is None:
+            # name + ": " + value + CRLF
+            self._size_cache = sum(
+                len(name) + len(value) + 4 for name, value in self._items
+            )
+        return self._size_cache
 
     def field_line_size(self, name: str) -> int:
         """Wire size of the first field line named ``name`` (0 if absent).

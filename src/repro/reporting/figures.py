@@ -41,27 +41,46 @@ def default_fig6_sizes() -> List[int]:
 def fig6_series(
     vendors: Optional[Sequence[str]] = None,
     sizes: Optional[Sequence[int]] = None,
+    runner: Optional[object] = None,
 ) -> List[Fig6Series]:
-    """Regenerate the Fig 6 sweep."""
+    """Regenerate the Fig 6 sweep.
+
+    ``runner`` optionally fans the 13 x 25 cells out over a
+    :class:`repro.runner.GridRunner`; merge order is grid order, so the
+    series are identical to the serial sweep.
+    """
     names = list(vendors) if vendors is not None else all_vendor_names()
     size_list = list(sizes) if sizes is not None else default_fig6_sizes()
+    if runner is not None:
+        from repro.core.sbr import sbr_grid
+
+        grid_result = runner.run(sbr_grid(names, tuple(size_list), name="fig6-sbr"))
+        grid_result.values()  # propagate the first cell failure, like serial
+        return fig6_series_from_results(grid_result.value_by_key(), names, size_list)
+    results = {
+        (name, size): SbrAttack(name, resource_size=size).run()
+        for name in names
+        for size in size_list
+    }
+    return fig6_series_from_results(results, names, size_list)
+
+
+def fig6_series_from_results(
+    results,
+    vendors: Sequence[str],
+    sizes: Sequence[int],
+) -> List[Fig6Series]:
+    """Assemble Fig 6 series from (vendor, size) -> SbrResult mappings."""
     series = []
-    for name in names:
-        factors: List[float] = []
-        client: List[int] = []
-        origin: List[int] = []
-        for size in size_list:
-            result = SbrAttack(name, resource_size=size).run()
-            factors.append(result.amplification)
-            client.append(result.client_traffic)
-            origin.append(result.origin_traffic)
+    for name in vendors:
+        cells = [results[(name, size)] for size in sizes]
         series.append(
             Fig6Series(
                 vendor=name,
-                sizes=tuple(size_list),
-                factors=tuple(factors),
-                client_traffic=tuple(client),
-                origin_traffic=tuple(origin),
+                sizes=tuple(sizes),
+                factors=tuple(r.amplification for r in cells),
+                client_traffic=tuple(r.client_traffic for r in cells),
+                origin_traffic=tuple(r.origin_traffic for r in cells),
             )
         )
     return series
@@ -72,8 +91,25 @@ def fig7_series(
     vendor: str = "cloudflare",
     resource_size: int = 10 * MB,
     origin_uplink_mbps: float = 1000.0,
+    runner: Optional[object] = None,
 ) -> List[BandwidthRunResult]:
-    """Regenerate the Fig 7 sweep (one bandwidth run per m)."""
+    """Regenerate the Fig 7 sweep (one bandwidth run per m).
+
+    With a ``runner``, each m becomes one grid cell; the per-request SBR
+    probe is measured once up front and shared with every cell.
+    """
+    if runner is not None:
+        from repro.core.practical import flood_grid
+
+        grid_result = runner.run(
+            flood_grid(
+                ms,
+                vendor=vendor,
+                resource_size=resource_size,
+                origin_uplink_mbps=origin_uplink_mbps,
+            )
+        )
+        return grid_result.values()
     simulation = BandwidthAttackSimulation(
         vendor=vendor,
         resource_size=resource_size,

@@ -134,16 +134,43 @@ class Table4Row:
 def table4_rows(
     vendors: Optional[Sequence[str]] = None,
     sizes: Sequence[int] = (1 * MB, 10 * MB, 25 * MB),
+    runner: Optional[object] = None,
 ) -> List[Table4Row]:
-    """Regenerate Table IV by running the SBR attack at each size."""
+    """Regenerate Table IV by running the SBR attack at each size.
+
+    ``runner`` optionally supplies a :class:`repro.runner.GridRunner`;
+    the vendor x size cells then execute through it (in parallel when it
+    has workers) with results merged in grid order, which keeps the rows
+    identical to the serial path.
+    """
     names = list(vendors) if vendors is not None else all_vendor_names()
+    if runner is not None:
+        from repro.core.sbr import sbr_grid
+
+        grid_result = runner.run(sbr_grid(names, tuple(sizes), name="table4-sbr"))
+        grid_result.values()  # propagate the first cell failure, like serial
+        return table4_rows_from_results(grid_result.value_by_key(), names, sizes)
+    results = {
+        (name, size): SbrAttack(name, resource_size=size).run()
+        for name in names
+        for size in sizes
+    }
+    return table4_rows_from_results(results, names, sizes)
+
+
+def table4_rows_from_results(
+    results: Dict[Tuple[str, int], object],
+    vendors: Sequence[str],
+    sizes: Sequence[int],
+) -> List[Table4Row]:
+    """Assemble Table IV rows from (vendor, size) -> SbrResult mappings."""
     rows = []
-    for name in names:
+    for name in vendors:
         factors: Dict[int, float] = {}
         client: Dict[int, int] = {}
         origin: Dict[int, int] = {}
         for size in sizes:
-            result = SbrAttack(name, resource_size=size).run()
+            result = results[(name, size)]
             factors[size] = result.amplification
             client[size] = result.client_traffic
             origin[size] = result.origin_traffic
@@ -178,14 +205,41 @@ class Table5Row:
 def table5_rows(
     combinations: Optional[Sequence[Tuple[str, str]]] = None,
     resource_size: int = 1024,
+    runner: Optional[object] = None,
 ) -> List[Table5Row]:
-    """Regenerate Table V: search max n per combination, then measure."""
+    """Regenerate Table V: search max n per combination, then measure.
+
+    ``runner`` optionally executes the 11 cascade cells through a
+    :class:`repro.runner.GridRunner`; each cell is a full max-n binary
+    search plus measurement, so this is the sweep where parallel workers
+    pay off most.
+    """
     combos = list(combinations) if combinations is not None else vulnerable_combinations()
+    if runner is not None:
+        from repro.core.obr import obr_grid
+
+        grid_result = runner.run(obr_grid(combos, resource_size=resource_size))
+        grid_result.values()  # propagate the first cell failure, like serial
+        return table5_rows_from_results(
+            grid_result.value_by_key(), combos, resource_size
+        )
+    results = {
+        (fcdn, bcdn): ObrAttack(fcdn, bcdn, resource_size=resource_size).run()
+        for fcdn, bcdn in combos
+    }
+    return table5_rows_from_results(results, combos, resource_size)
+
+
+def table5_rows_from_results(
+    results: Dict[Tuple[str, str], object],
+    combinations: Sequence[Tuple[str, str]],
+    resource_size: int = 1024,
+) -> List[Table5Row]:
+    """Assemble Table V rows from (fcdn, bcdn) -> ObrResult mappings."""
     rows = []
-    for fcdn, bcdn in combos:
-        attack = ObrAttack(fcdn, bcdn, resource_size=resource_size)
-        result = attack.run()
-        prefix = attack.range_value(3)
+    for fcdn, bcdn in combinations:
+        result = results[(fcdn, bcdn)]
+        prefix = ObrAttack(fcdn, bcdn, resource_size=resource_size).range_value(3)
         rows.append(
             Table5Row(
                 fcdn=fcdn,

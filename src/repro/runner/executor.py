@@ -1,0 +1,223 @@
+"""Parallel grid execution with deterministic result merging.
+
+:class:`GridRunner` runs every cell of an
+:class:`~repro.runner.grid.ExperimentGrid` — serially in-process, or
+fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor` —
+and returns a :class:`GridResult` whose outcomes are **always in grid
+order**, regardless of completion order.  Because every cell function is
+deterministic, the parallel result object compares (and reprs) identical
+to the serial one; ``tests/runner/test_equivalence.py`` pins that
+guarantee.
+
+A failing cell never kills the sweep: its exception is captured as a
+:class:`CellFailure` (type name + message, both stable across
+processes) and the remaining cells keep running.  Per-cell wall time is
+recorded but excluded from equality — timing is observability, not
+result.
+
+Worker-count resolution, in priority order:
+
+1. ``REPRO_RUNNER_SERIAL=1`` in the environment forces serial execution
+   (the benchmarks' escape hatch);
+2. an explicit ``workers=`` argument;
+3. ``REPRO_RUNNER_WORKERS`` in the environment;
+4. ``os.cpu_count()``.
+
+``workers <= 1`` always means the serial in-process path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.runner.grid import ExperimentCell, ExperimentGrid
+
+#: Environment variable forcing serial execution regardless of workers.
+SERIAL_ENV = "REPRO_RUNNER_SERIAL"
+#: Environment variable providing the default worker count.
+WORKERS_ENV = "REPRO_RUNNER_WORKERS"
+
+
+class RunnerCellError(ReproError):
+    """Raised when unwrapping a grid result that contains a failed cell."""
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A captured cell exception, comparable across process boundaries.
+
+    Only the exception type name and message participate in equality:
+    tracebacks embed file paths and line numbers that differ between the
+    serial and pool paths, so they are carried for diagnostics only.
+    """
+
+    exception_type: str
+    message: str
+    traceback: str = field(default="", compare=False, repr=False)
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "CellFailure":
+        return cls(
+            exception_type=type(error).__name__,
+            message=str(error),
+            traceback="".join(
+                traceback.format_exception(type(error), error, error.__traceback__)
+            ),
+        )
+
+    def describe(self) -> str:
+        return f"{self.exception_type}: {self.message}"
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed cell: its value or its failure, plus timing."""
+
+    cell: ExperimentCell
+    index: int
+    value: Any = None
+    failure: Optional[CellFailure] = None
+    #: Wall seconds the cell took; excluded from equality *and* repr so
+    #: a parallel run's outcomes are byte-identical to a serial run's.
+    duration_s: float = field(default=0.0, compare=False, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def unwrap(self) -> Any:
+        """The cell's value, re-raising a captured failure."""
+        if self.failure is not None:
+            raise RunnerCellError(
+                f"cell {self.cell.label} failed: {self.failure.describe()}"
+            )
+        return self.value
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """All outcomes of one grid run, merged in grid order."""
+
+    grid_name: str
+    outcomes: Tuple[CellOutcome, ...]
+    workers: int = field(default=1, compare=False, repr=False)
+    #: Wall seconds for the whole run; excluded from equality and repr.
+    duration_s: float = field(default=0.0, compare=False, repr=False)
+
+    def __iter__(self) -> Iterator[CellOutcome]:
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def values(self) -> List[Any]:
+        """Every cell value in grid order, re-raising the first failure."""
+        return [outcome.unwrap() for outcome in self.outcomes]
+
+    def failures(self) -> List[CellOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def value_by_key(self) -> Dict[Tuple[Any, ...], Any]:
+        """Map cell key -> value for successful cells."""
+        return {o.cell.key: o.value for o in self.outcomes if o.ok}
+
+    @property
+    def cell_seconds(self) -> float:
+        """Sum of per-cell wall time (serial-equivalent work)."""
+        return sum(outcome.duration_s for outcome in self.outcomes)
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Apply the worker-count resolution rules documented above."""
+    if os.environ.get(SERIAL_ENV, "").strip() not in ("", "0"):
+        return 1
+    if workers is not None:
+        return max(1, workers)
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ReproError(f"{WORKERS_ENV} must be an integer, got {env!r}")
+    return max(1, os.cpu_count() or 1)
+
+
+def _execute_indexed(index: int, cell: ExperimentCell) -> CellOutcome:
+    """Run one cell, capturing failure and timing (worker entry point)."""
+    from repro.runner.experiments import execute_cell
+
+    started = time.perf_counter()
+    try:
+        value = execute_cell(cell)
+        return CellOutcome(
+            cell=cell,
+            index=index,
+            value=value,
+            duration_s=time.perf_counter() - started,
+        )
+    except Exception as error:
+        return CellOutcome(
+            cell=cell,
+            index=index,
+            failure=CellFailure.from_exception(error),
+            duration_s=time.perf_counter() - started,
+        )
+
+
+class GridRunner:
+    """Executes experiment grids, serially or over a process pool."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        #: Cap on futures in flight; bounds memory for very large grids.
+        self.max_pending = max_pending if max_pending is not None else self.workers * 4
+
+    def run(self, grid: ExperimentGrid) -> GridResult:
+        """Run every cell; outcomes come back in grid order."""
+        started = time.perf_counter()
+        cells = grid.cells
+        if self.workers <= 1 or len(cells) <= 1:
+            outcomes = [_execute_indexed(i, cell) for i, cell in enumerate(cells)]
+            effective_workers = 1
+        else:
+            outcomes = self._run_pool(cells)
+            effective_workers = min(self.workers, len(cells))
+        return GridResult(
+            grid_name=grid.name,
+            outcomes=tuple(outcomes),
+            workers=effective_workers,
+            duration_s=time.perf_counter() - started,
+        )
+
+    def _run_pool(self, cells: Tuple[ExperimentCell, ...]) -> List[CellOutcome]:
+        slots: List[Optional[CellOutcome]] = [None] * len(cells)
+        queue = iter(enumerate(cells))
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(cells))) as pool:
+            pending = set()
+            exhausted = False
+            while not exhausted or pending:
+                while not exhausted and len(pending) < self.max_pending:
+                    try:
+                        index, cell = next(queue)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.add(pool.submit(_execute_indexed, index, cell))
+                if not pending:
+                    continue
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    outcome = future.result()
+                    slots[outcome.index] = outcome
+        assert all(outcome is not None for outcome in slots)
+        return [outcome for outcome in slots if outcome is not None]

@@ -1,0 +1,139 @@
+"""Memoization for the sweep hot paths.
+
+Two facts make the paper grids cheap to memoize:
+
+* every measurement in this library is **deterministic** — the same
+  (vendor, size, rounds) SBR cell always produces the same
+  :class:`~repro.core.sbr.SbrResult`;
+* the grids **overlap** — Table IV's 13 x 3 cells are a subset of
+  Fig 6's 13 x 25 grid, and Fig 7's per-request traffic probe is exactly
+  the Table IV cloudflare/10 MB cell.
+
+:class:`Memo` is a small bounded insertion-order cache with hit/miss
+statistics; :func:`measure_sbr` is the shared memoized SBR measurement
+the runner's cell functions and ``run_all`` go through.  Caches are
+per-process: worker processes each warm their own, which affects only
+speed, never results.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+DEFAULT_MAXSIZE = 1024
+
+
+@dataclass
+class MemoStats:
+    """Hit/miss counters for one :class:`Memo`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class Memo:
+    """A bounded, thread-safe memo table.
+
+    Eviction is FIFO (oldest insertion first) — the sweeps iterate their
+    grids once, so recency tracking would buy nothing over plain
+    insertion order.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = MemoStats()
+        self._table: Dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss."""
+        with self._lock:
+            if key in self._table:
+                self.stats.hits += 1
+                return self._table[key]
+        # Compute outside the lock: measurements can be slow, and a
+        # duplicate computation is merely wasted work, never wrong.
+        value = compute()
+        with self._lock:
+            if key not in self._table:
+                if len(self._table) >= self.maxsize:
+                    oldest = next(iter(self._table))
+                    del self._table[oldest]
+                    self.stats.evictions += 1
+                self._table[key] = value
+            self.stats.misses += 1
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._table.clear()
+            self.stats = MemoStats()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._table
+
+
+def memoize(maxsize: int = DEFAULT_MAXSIZE) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator memoizing a function of hashable positional arguments.
+
+    The memo table is exposed as ``wrapped.memo`` so tests and
+    ``run_all`` can inspect hit rates or clear it.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        memo = Memo(maxsize)
+
+        def wrapped(*args: Hashable) -> Any:
+            return memo.get_or_compute(args, lambda: fn(*args))
+
+        wrapped.memo = memo  # type: ignore[attr-defined]
+        wrapped.__name__ = fn.__name__
+        wrapped.__doc__ = fn.__doc__
+        return wrapped
+
+    return decorate
+
+
+@memoize(maxsize=2048)
+def measure_sbr(vendor: str, resource_size: int, rounds: int = 1) -> Any:
+    """Memoized SBR measurement for one (vendor, size, rounds) cell.
+
+    Returns the :class:`~repro.core.sbr.SbrResult`.  ``SbrAttack.run``
+    builds a fresh deployment per call, so the result depends only on
+    the arguments and caching is sound.
+    """
+    from repro.core.sbr import SbrAttack
+
+    return SbrAttack(vendor, resource_size=resource_size).run(rounds=rounds)
+
+
+def sbr_per_request_traffic(vendor: str, resource_size: int) -> Tuple[int, int]:
+    """(origin_bytes, client_bytes) one SBR round moves — memoized.
+
+    This is Fig 7's step-1 probe; going through :func:`measure_sbr`
+    means ``run_all`` reuses the Table IV / Fig 6 measurement instead of
+    re-running the attack.
+    """
+    result = measure_sbr(vendor, resource_size)
+    return (result.origin_traffic, result.client_traffic)
+
+
+def clear_all_memos() -> None:
+    """Reset every module-level memo (test isolation helper)."""
+    measure_sbr.memo.clear()  # type: ignore[attr-defined]

@@ -1,0 +1,232 @@
+"""One-shot regeneration of Tables IV–V and Figs 6–7 through the runner.
+
+:func:`run_all` builds a **single combined grid** — the SBR vendor x
+size sweep (serving both Table IV and Fig 6, deduped), the 11 Table V
+cascades, and the 15 Fig 7 flood intensities — executes it through one
+:class:`~repro.runner.executor.GridRunner`, and assembles the same row
+and series objects the serial ``repro.reporting`` functions produce.
+One pool, every cell kind interleaved, so slow OBR searches overlap
+with cheap SBR cells instead of serializing behind them.
+
+Determinism: cell functions are pure, outcomes merge in grid order, and
+the assemblers are shared with the serial path, so ``run_all(workers=N)``
+returns objects equal to the serial regeneration for every N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.cdn.vendors import all_vendor_names
+from repro.core.obr import vulnerable_combinations
+from repro.core.practical import flood_grid
+from repro.core.sbr import sbr_grid
+from repro.runner.executor import GridRunner
+from repro.runner.grid import ExperimentGrid
+from repro.runner.memo import sbr_per_request_traffic
+
+MB = 1 << 20
+
+#: Quick-mode trims, mirroring ``reporting.summary.generate_full_report``.
+QUICK_TABLE5_COMBOS = (("cloudflare", "akamai"), ("cdn77", "azure"))
+QUICK_FIG7_MS = (2, 12, 15)
+
+
+@dataclass(frozen=True)
+class RunAllReport:
+    """Every regenerated artifact plus run telemetry."""
+
+    table4: List
+    table5: List
+    fig6: List
+    fig7: List
+    workers: int
+    #: Wall seconds for the combined grid run.
+    duration_s: float
+    #: Sum of per-cell seconds (the serial-equivalent work).
+    cell_seconds: float
+    cell_count: int
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent work over wall time (1.0 when serial)."""
+        if self.duration_s <= 0:
+            return 1.0
+        return self.cell_seconds / self.duration_s
+
+
+def build_run_all_grid(
+    vendors: Optional[Sequence[str]] = None,
+    fig6_sizes: Optional[Sequence[int]] = None,
+    table4_sizes: Sequence[int] = (1 * MB, 10 * MB, 25 * MB),
+    table5_combos: Optional[Sequence[Tuple[str, str]]] = None,
+    fig7_ms: Sequence[int] = tuple(range(1, 16)),
+    flood_vendor: str = "cloudflare",
+) -> ExperimentGrid:
+    """The combined Tables IV–V / Figs 6–7 grid (deduped, ordered)."""
+    from repro.reporting.figures import default_fig6_sizes
+
+    names = list(vendors) if vendors is not None else all_vendor_names()
+    sizes6 = list(fig6_sizes) if fig6_sizes is not None else default_fig6_sizes()
+    combos = (
+        list(table5_combos) if table5_combos is not None else vulnerable_combinations()
+    )
+    grid = ExperimentGrid("run-all")
+    # OBR cells first: each hides a max-n binary search and dominates
+    # wall time, so they must start before the swarm of cheap SBR cells.
+    from repro.core.obr import obr_grid
+
+    grid.extend(obr_grid(combos).cells)
+    grid.extend(
+        flood_grid(
+            fig7_ms,
+            vendor=flood_vendor,
+            per_request=sbr_per_request_traffic(flood_vendor, 10 * MB),
+        ).cells
+    )
+    grid.extend(sbr_grid(names, tuple(sizes6), name="fig6-sbr").cells)
+    grid.extend(sbr_grid(names, tuple(table4_sizes), name="table4-sbr").cells)
+    return grid
+
+
+def run_all(
+    workers: Optional[int] = None,
+    quick: bool = False,
+    vendors: Optional[Sequence[str]] = None,
+) -> RunAllReport:
+    """Regenerate Tables IV–V and Figs 6–7 in one grid run.
+
+    ``quick=True`` trims the grid for smoke runs (Table IV at 1 MB,
+    Fig 6 at three sizes, two Table V cascades, three Fig 7 points) —
+    the CI path.  Results are identical to the serial regeneration; the
+    equivalence tests pin this.
+    """
+    from repro.reporting.figures import fig6_series_from_results
+    from repro.reporting.tables import (
+        table4_rows_from_results,
+        table5_rows_from_results,
+    )
+
+    names = list(vendors) if vendors is not None else all_vendor_names()
+    if quick:
+        fig6_sizes: Sequence[int] = (1 * MB, 2 * MB, 3 * MB)
+        table4_sizes: Sequence[int] = (1 * MB,)
+        combos: Sequence[Tuple[str, str]] = QUICK_TABLE5_COMBOS
+        fig7_ms: Sequence[int] = QUICK_FIG7_MS
+    else:
+        from repro.reporting.figures import default_fig6_sizes
+
+        fig6_sizes = default_fig6_sizes()
+        table4_sizes = (1 * MB, 10 * MB, 25 * MB)
+        combos = vulnerable_combinations()
+        fig7_ms = tuple(range(1, 16))
+
+    grid = build_run_all_grid(
+        vendors=names,
+        fig6_sizes=fig6_sizes,
+        table4_sizes=table4_sizes,
+        table5_combos=combos,
+        fig7_ms=fig7_ms,
+    )
+    runner = GridRunner(workers)
+    result = runner.run(grid)
+    result.values()  # any failed cell aborts the regeneration, loudly
+
+    by_key = result.value_by_key()
+    flood_values = [
+        outcome.value for outcome in result if outcome.cell.experiment == "flood"
+    ]
+    return RunAllReport(
+        table4=table4_rows_from_results(by_key, names, table4_sizes),
+        table5=table5_rows_from_results(by_key, combos),
+        fig6=fig6_series_from_results(by_key, names, fig6_sizes),
+        fig7=flood_values,
+        workers=result.workers,
+        duration_s=result.duration_s,
+        cell_seconds=result.cell_seconds,
+        cell_count=len(result),
+    )
+
+
+def write_report(
+    report: RunAllReport, output_dir: Union[str, Path]
+) -> List[Path]:
+    """Render the report's artifacts into ``output_dir`` (txt files)."""
+    from repro.reporting.paper_values import PAPER_TABLE4_FACTORS, PAPER_TABLE5
+    from repro.reporting.render import render_table
+
+    target = Path(output_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    def _write(name: str, content: str) -> None:
+        path = target / name
+        path.write_text(content + "\n", encoding="utf-8")
+        written.append(path)
+
+    sizes = sorted(report.table4[0].factors) if report.table4 else []
+    _write(
+        "table4_sbr_factors.txt",
+        render_table(
+            ["CDN", "Exploited Case"] + [f"{s // MB}MB (paper)" for s in sizes],
+            [
+                [
+                    row.display_name,
+                    " & ".join(row.exploited_cases),
+                    *(
+                        f"{row.factors[s]:.0f} "
+                        f"({PAPER_TABLE4_FACTORS[row.vendor].get(s, '-')})"
+                        for s in sizes
+                    ),
+                ]
+                for row in report.table4
+            ],
+        ),
+    )
+    _write(
+        "table5_obr_factors.txt",
+        render_table(
+            ["FCDN", "BCDN", "Max n (paper)", "BCDN->FCDN B (paper)", "Factor (paper)"],
+            [
+                [
+                    row.fcdn,
+                    row.bcdn,
+                    f"{row.max_n} ({PAPER_TABLE5[(row.fcdn, row.bcdn)][0]})",
+                    f"{row.fcdn_bcdn_traffic} ({PAPER_TABLE5[(row.fcdn, row.bcdn)][2]})",
+                    f"{row.factor:.1f} ({PAPER_TABLE5[(row.fcdn, row.bcdn)][3]})",
+                ]
+                for row in report.table5
+            ],
+        ),
+    )
+    if report.fig6:
+        header = ["size"] + [series.vendor for series in report.fig6]
+        _write(
+            "fig6a_amplification_factors.txt",
+            render_table(
+                header,
+                [
+                    [f"{size // MB}MB"]
+                    + [f"{series.factors[i]:.0f}" for series in report.fig6]
+                    for i, size in enumerate(report.fig6[0].sizes)
+                ],
+            ),
+        )
+    _write(
+        "fig7_bandwidth.txt",
+        render_table(
+            ["m", "steady origin Mbps", "peak client Kbps", "saturated"],
+            [
+                [
+                    result.m,
+                    f"{result.steady_origin_mbps:.1f}",
+                    f"{result.peak_client_kbps:.1f}",
+                    "yes" if result.saturated else "no",
+                ]
+                for result in report.fig7
+            ],
+        ),
+    )
+    return written
