@@ -2,7 +2,8 @@
 
 Not a paper artifact: these time the primitives every experiment leans
 on, so regressions in the simulator itself are visible — Range parsing,
-multipart assembly at OBR scale, and the full single-CDN pipeline.
+multipart assembly at OBR scale, the full single-CDN pipeline, and the
+disabled-observability overhead (the NullTracer path must stay free).
 """
 
 from repro.cdn.node import CdnNode
@@ -13,6 +14,7 @@ from repro.http.message import HttpRequest
 from repro.http.multipart import MultipartByteranges
 from repro.http.ranges import ResolvedRange, parse_range_header
 from repro.netsim.tap import TrafficLedger
+from repro.obs.tracer import Tracer, current_tracer, use_tracer
 from repro.origin.server import OriginServer
 
 MB = 1 << 20
@@ -73,3 +75,36 @@ def test_origin_full_response(benchmark):
     request = HttpRequest("GET", "/target.bin", headers=[("Host", "h")])
     response = benchmark(origin.handle, request)
     assert response.status == 200
+
+
+def test_null_tracer_span_overhead(benchmark):
+    """The disabled instrumentation point: one ContextVar read + a no-op
+    context manager on a shared singleton.  Nanoseconds, no allocation."""
+
+    def disabled_span():
+        with current_tracer().span("bench.noop") as span:
+            return span.recording
+
+    assert benchmark(disabled_span) is False
+
+
+def test_sbr_pipeline_round_traced(benchmark):
+    """The same 10 MB SBR round as ``test_sbr_pipeline_round`` but under
+    a recording tracer — the cost ceiling of ``--trace``."""
+    origin = OriginServer()
+    origin.add_synthetic_resource("/target.bin", 10 * MB)
+    node = CdnNode(create_profile("gcore"), origin, ledger=TrafficLedger())
+    counter = iter(range(10_000_000))
+    tracer = Tracer()
+
+    def round_trip():
+        request = HttpRequest(
+            "GET",
+            f"/target.bin?cb={next(counter)}",
+            headers=[("Host", "victim.example"), ("Range", "bytes=0-0")],
+        )
+        with use_tracer(tracer):
+            return node.handle(request).status
+
+    assert benchmark(round_trip) == 206
+    assert tracer.finished_spans()

@@ -39,6 +39,8 @@ from repro.http.ranges import (
 )
 from repro.http.status import StatusCode
 from repro.netsim.tap import CDN_ORIGIN, TrafficLedger
+from repro.obs.metrics import current_metrics
+from repro.obs.tracer import current_tracer
 
 _FIXED_DATE = "Fri, 05 Jun 2020 08:00:00 GMT"
 
@@ -72,6 +74,19 @@ class CdnNode(HttpHandler):
     # -- pipeline -----------------------------------------------------------
 
     def handle(self, request: HttpRequest) -> HttpResponse:
+        with current_tracer().span("cdn.handle") as hop:
+            if hop.recording:
+                hop.set(
+                    vendor=self.profile.name,
+                    node=self.node_label,
+                    target=request.target,
+                    range=request.headers.get("Range") or "",
+                )
+            return self._handle_traced(request, hop)
+
+    def _handle_traced(self, request: HttpRequest, hop) -> HttpResponse:
+        tracer = current_tracer()
+        registry = current_metrics()
         try:
             self.profile.limits.check(request)
         except RequestRejectedError as rejected:
@@ -79,13 +94,26 @@ class CdnNode(HttpHandler):
                 "%s rejected %s %s: %s", self.node_label, request.method,
                 request.target, rejected,
             )
+            if hop.recording:
+                hop.set(outcome="rejected", reason=str(rejected))
             return self._rejection(rejected)
 
         spec = try_parse_range_header(request.headers.get("Range"))
 
-        cached = self.cache.get(request)
+        with tracer.span("cdn.cache.lookup") as lookup:
+            cached = self.cache.get(request)
+            if lookup.recording:
+                lookup.set(
+                    vendor=self.profile.name,
+                    hit=cached is not None,
+                    enabled=self.cache.enabled,
+                )
+        if registry is not None and self.cache.enabled:
+            registry.record_cache_lookup(self.profile.name, cached is not None)
         if cached is not None:
             logger.debug("%s cache hit for %s", self.node_label, request.target)
+            if hop.recording:
+                hop.set(cache="hit")
             window = ContentWindow.full(cached.body)
             response = self._serve(request, spec, window, cached.headers)
             # Shared caches report the entry's age (RFC 7234 §5.1); the
@@ -93,9 +121,23 @@ class CdnNode(HttpHandler):
             # elapsed seconds.
             response.headers.set("Age", str(int(self.cache.clock.now)))
             return response
+        if hop.recording:
+            hop.set(cache="miss" if self.cache.enabled else "bypass")
 
         ctx = VendorContext(config=self.config, resource_size_hint=self._size_hint(request))
-        result = self.profile.fetch(request, spec, ctx, self._exchange)
+        with tracer.span("cdn.fetch") as fetch_span:
+            result = self.profile.fetch(request, spec, ctx, self._exchange)
+            policy = result.policy.value if result.policy is not None else None
+            if fetch_span.recording:
+                fetch_span.set(
+                    vendor=self.profile.name,
+                    policy=policy,
+                    passthrough=result.passthrough is not None,
+                )
+        if hop.recording and policy is not None:
+            hop.set(policy=policy)
+        if registry is not None and policy is not None:
+            registry.record_rewrite(self.profile.name, policy)
 
         if result.passthrough is not None:
             if result.cacheable_full:
@@ -134,16 +176,30 @@ class CdnNode(HttpHandler):
             upstream_request.headers.get("Range", "-"),
             f" [{note}]" if note else "",
         )
-        connection = self.ledger.open_connection(
-            self.upstream_segment, client_label=self.node_label, server_label="upstream"
-        )
-        response = self.upstream.handle(upstream_request)
-        deliver_cap = None
-        if payload_cap is not None:
-            deliver_cap = response.header_block_size() + max(0, payload_cap)
-        record = connection.exchange(
-            upstream_request, response, deliver_cap=deliver_cap, note=note
-        )
+        with current_tracer().span("cdn.upstream") as span:
+            if span.recording:
+                span.set(
+                    vendor=self.profile.name,
+                    segment=self.upstream_segment,
+                    range=upstream_request.headers.get("Range") or "",
+                )
+                if note:
+                    span.set(note=note)
+                if payload_cap is not None:
+                    span.set(payload_cap=payload_cap)
+            connection = self.ledger.open_connection(
+                self.upstream_segment, client_label=self.node_label,
+                server_label="upstream",
+            )
+            response = self.upstream.handle(upstream_request)
+            deliver_cap = None
+            if payload_cap is not None:
+                deliver_cap = response.header_block_size() + max(0, payload_cap)
+            record = connection.exchange(
+                upstream_request, response, deliver_cap=deliver_cap, note=note
+            )
+            if span.recording:
+                span.set(status=record.status, truncated=record.truncated)
         if record.truncated:
             received = response.copy()
             received.body = response.body.slice(
@@ -219,26 +275,33 @@ class CdnNode(HttpHandler):
         content_type: str,
         source_headers: Headers,
     ) -> HttpResponse:
-        multipart = MultipartByteranges(
-            [
-                MultipartPart(
-                    content_type=content_type,
-                    content_range=part,
-                    complete_length=window.complete_length,
-                    payload=window.slice_range(part),
+        with current_tracer().span("cdn.multipart") as span:
+            multipart = MultipartByteranges(
+                [
+                    MultipartPart(
+                        content_type=content_type,
+                        content_range=part,
+                        complete_length=window.complete_length,
+                        payload=window.slice_range(part),
+                    )
+                    for part in parts
+                ],
+                boundary=self.profile.multipart_boundary,
+            )
+            body = multipart.to_body()
+            response = self._base_response(
+                StatusCode.PARTIAL_CONTENT,
+                multipart.content_type_header,
+                body=body,
+                source_headers=source_headers,
+            )
+            if span.recording:
+                span.set(
+                    vendor=self.profile.name,
+                    parts=len(parts),
+                    body_bytes=len(body),
                 )
-                for part in parts
-            ],
-            boundary=self.profile.multipart_boundary,
-        )
-        body = multipart.to_body()
-        response = self._base_response(
-            StatusCode.PARTIAL_CONTENT,
-            multipart.content_type_header,
-            body=body,
-            source_headers=source_headers,
-        )
-        return response
+            return response
 
     def _base_response(
         self,

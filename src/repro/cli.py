@@ -100,6 +100,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output-dir", default=None,
         help="also write the rendered artifacts into this directory",
     )
+    run_all.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the joined span + exchange stream as JSONL to PATH",
+    )
+    run_all.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the metrics snapshot to PATH (.prom extension selects "
+             "Prometheus text format, anything else JSON)",
+    )
+    run_all.add_argument(
+        "--profile", nargs="?", const="runall_profile.txt", default=None,
+        metavar="PATH",
+        help="write the per-cell time/byte profile report "
+             "(default PATH: runall_profile.txt)",
+    )
+    run_all.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the live progress line",
+    )
 
     return parser
 
@@ -263,14 +282,70 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.profile import render_profile
+    from repro.obs.progress import ProgressReporter
     from repro.runner.runall import run_all, write_report
 
-    report = run_all(workers=args.workers, quick=args.quick)
+    collect_obs = bool(args.trace or args.metrics or args.profile)
+    reporter = None if args.no_progress else ProgressReporter(prefix="run-all")
+    report = run_all(
+        workers=args.workers,
+        quick=args.quick,
+        collect_obs=collect_obs,
+        observer=reporter,
+    )
+    if reporter is not None:
+        reporter.close()
     print(
         f"run-all: {report.cell_count} cells over {report.workers} worker(s) "
         f"in {report.duration_s:.1f}s "
         f"({report.cell_seconds:.1f}s of cell work, {report.speedup:.1f}x)"
     )
+    timing = report.timing
+    print(
+        f"  per cell: max {timing.max_s:.2f}s ({timing.slowest}), "
+        f"mean {timing.mean_s:.3f}s"
+        + (
+            f", {timing.failed_count} failed ({timing.failed_s:.2f}s)"
+            if timing.failed_count
+            else ""
+        )
+    )
+
+    if args.trace is not None:
+        from repro.netsim.trace import dump_joined_jsonl
+
+        with open(args.trace, "w", encoding="utf-8") as stream:
+            count = dump_joined_jsonl(report.events, report.spans, stream)
+        print(f"wrote {args.trace} ({count} lines: "
+              f"{len(report.events)} exchanges, {len(report.spans)} spans)")
+
+    if args.metrics is not None:
+        from repro.obs.metrics import MetricsRegistry
+
+        if args.metrics.endswith(".prom"):
+            registry = MetricsRegistry()
+            registry.merge_snapshot(report.metrics)
+            content = registry.to_prometheus()
+        else:
+            content = json.dumps(report.metrics, indent=2, sort_keys=True) + "\n"
+        with open(args.metrics, "w", encoding="utf-8") as stream:
+            stream.write(content)
+        print(f"wrote {args.metrics} ({len(report.metrics)} metric families)")
+
+    if args.profile is not None:
+        content = render_profile(
+            report.cells,
+            report.timing_by_experiment,
+            total_s=report.duration_s,
+            workers=report.workers,
+            metrics_snapshot=report.metrics or None,
+        )
+        with open(args.profile, "w", encoding="utf-8") as stream:
+            stream.write(content)
+        print(f"wrote {args.profile} ({len(report.cells)} cells profiled)")
 
     sizes = sorted(report.table4[0].factors) if report.table4 else []
     print("\nTable IV - SBR amplification factors:")

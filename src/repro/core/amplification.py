@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from repro.netsim.tap import SegmentStats, TrafficLedger
+from repro.obs.metrics import current_metrics
+from repro.obs.tracer import current_tracer
 
 
 @dataclass(frozen=True)
@@ -56,13 +58,23 @@ class AmplificationReport:
         segments: Dict[str, SegmentStats] = ledger.all_stats()
         attacker = segments.get(attacker_segment)
         victim = segments.get(victim_segment)
-        return cls(
+        report = cls(
             attacker_bytes=attacker.response_bytes_delivered if attacker else 0,
             victim_bytes=victim.response_bytes_delivered if victim else 0,
             attacker_segment=attacker_segment,
             victim_segment=victim_segment,
             segments=segments,
         )
+        # Every attack run funnels through here, so this is the one spot
+        # where an active tracer captures the run's full exchange stream
+        # and an active registry records the amplification distribution.
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.record_ledger(ledger)
+        registry = current_metrics()
+        if registry is not None:
+            registry.record_amplification(report.factor, victim_segment)
+        return report
 
     def describe(self) -> str:
         """One-line human-readable summary."""

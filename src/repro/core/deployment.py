@@ -28,6 +28,7 @@ from repro.http.message import HttpRequest, HttpResponse
 from repro.netsim.connection import ExchangeRecord
 from repro.netsim.overhead import OverheadModel
 from repro.netsim.tap import BCDN_ORIGIN, CDN_ORIGIN, CLIENT_CDN, FCDN_BCDN, TrafficLedger
+from repro.obs.tracer import current_tracer
 from repro.origin.server import OriginServer
 
 
@@ -244,9 +245,16 @@ class Client:
         for name, value in extra_headers or ():
             headers.add(name, value)
         request = HttpRequest(method="GET", target=target, headers=headers)
-        connection = self._client_connection()
-        response = self.deployment.front.handle(request)
-        record = connection.exchange(
-            request, response, deliver_cap=abort_after, note="client"
-        )
+        with current_tracer().span("client.request") as span:
+            if span.recording:
+                span.set(target=target, range=range_value or "")
+                if abort_after is not None:
+                    span.set(abort_after=abort_after)
+            connection = self._client_connection()
+            response = self.deployment.front.handle(request)
+            record = connection.exchange(
+                request, response, deliver_cap=abort_after, note="client"
+            )
+            if span.recording:
+                span.set(status=record.status)
         return ClientResult(response=response, record=record)

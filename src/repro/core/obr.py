@@ -31,6 +31,7 @@ from repro.errors import ConfigurationError
 from repro.http.grammar import overlapping_open_ranges_value
 from repro.netsim.overhead import OverheadModel, TcpOverheadModel
 from repro.netsim.tap import BCDN_ORIGIN, CLIENT_CDN, FCDN_BCDN
+from repro.obs.tracer import current_tracer
 from repro.origin.server import OriginServer
 
 
@@ -171,14 +172,24 @@ class ObrAttack:
         deployment = self.build_deployment()
         client = deployment.client(host=self.host)
         range_value = self.range_value(n)
-        result = client.get(
-            self.resource_path,
-            range_value=range_value,
-            abort_after=self.client_abort_after,
-        )
-        report = AmplificationReport.from_ledger(
-            deployment.ledger, victim_segment=FCDN_BCDN, attacker_segment=BCDN_ORIGIN
-        )
+        with current_tracer().span("attack.obr") as span:
+            if span.recording:
+                span.set(
+                    fcdn=self.fcdn,
+                    bcdn=self.bcdn,
+                    resource_size=self.resource_size,
+                    overlap_count=n,
+                )
+            result = client.get(
+                self.resource_path,
+                range_value=range_value,
+                abort_after=self.client_abort_after,
+            )
+            report = AmplificationReport.from_ledger(
+                deployment.ledger, victim_segment=FCDN_BCDN, attacker_segment=BCDN_ORIGIN
+            )
+            if span.recording:
+                span.set(amplification=report.factor)
         return ObrResult(
             fcdn=self.fcdn,
             bcdn=self.bcdn,

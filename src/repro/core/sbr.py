@@ -23,6 +23,7 @@ from repro.core.deployment import CdnSpec, Deployment
 from repro.errors import ConfigurationError
 from repro.netsim.overhead import OverheadModel
 from repro.netsim.tap import CDN_ORIGIN, CLIENT_CDN
+from repro.obs.tracer import current_tracer
 from repro.origin.server import OriginServer
 
 MB = 1 << 20
@@ -133,14 +134,24 @@ class SbrAttack:
         client = deployment.client(host=self.host)
         buster = CacheBuster()
         statuses: List[int] = []
-        for _ in range(rounds):
-            target = buster.bust(self.resource_path)
-            for range_value in cases:
-                result = client.get(target, range_value=range_value)
-                statuses.append(result.response.status)
-        report = AmplificationReport.from_ledger(
-            deployment.ledger, victim_segment=CDN_ORIGIN, attacker_segment=CLIENT_CDN
-        )
+        with current_tracer().span("attack.sbr") as span:
+            if span.recording:
+                span.set(
+                    vendor=self.vendor,
+                    resource_size=self.resource_size,
+                    rounds=rounds,
+                    range_cases=list(cases),
+                )
+            for _ in range(rounds):
+                target = buster.bust(self.resource_path)
+                for range_value in cases:
+                    result = client.get(target, range_value=range_value)
+                    statuses.append(result.response.status)
+            report = AmplificationReport.from_ledger(
+                deployment.ledger, victim_segment=CDN_ORIGIN, attacker_segment=CLIENT_CDN
+            )
+            if span.recording:
+                span.set(amplification=report.factor)
         return SbrResult(
             vendor=self.vendor,
             resource_size=self.resource_size,

@@ -25,6 +25,8 @@ from typing import List, Optional
 
 from repro.http.message import HttpRequest, HttpResponse
 from repro.netsim.overhead import NullOverheadModel, OverheadModel
+from repro.obs.metrics import current_metrics
+from repro.obs.tracer import current_tracer
 
 
 @dataclass(frozen=True)
@@ -36,6 +38,11 @@ class ExchangeRecord:
     response_bytes_delivered: int
     status: int
     note: str = ""
+    #: Ids of the span this exchange happened under, when a tracer was
+    #: active.  Observability only: excluded from equality and repr so
+    #: traced and untraced runs produce comparable records.
+    trace_id: Optional[str] = field(default=None, compare=False, repr=False)
+    span_id: Optional[str] = field(default=None, compare=False, repr=False)
 
     @property
     def truncated(self) -> bool:
@@ -74,14 +81,35 @@ class Connection:
             sent += self.overhead.connection_setup_bytes()
             self._setup_counted = True
         delivered = sent if deliver_cap is None else min(sent, max(0, deliver_cap))
-        record = ExchangeRecord(
-            request_bytes=request_bytes,
-            response_bytes_sent=sent,
-            response_bytes_delivered=delivered,
-            status=response.status,
-            note=note,
-        )
+        # Each exchange gets its own leaf span (a hop span can cover
+        # several exchanges — e.g. Azure's dual back-to-origin fetches —
+        # so per-exchange byte attributes must not collide on one span).
+        with current_tracer().span("net.exchange") as span:
+            record = ExchangeRecord(
+                request_bytes=request_bytes,
+                response_bytes_sent=sent,
+                response_bytes_delivered=delivered,
+                status=response.status,
+                note=note,
+                trace_id=span.trace_id,
+                span_id=span.span_id,
+            )
+            if span.recording:
+                span.set(
+                    segment=self.segment,
+                    client=self.client_label,
+                    server=self.server_label,
+                    status=record.status,
+                    request_bytes=record.request_bytes,
+                    response_bytes_sent=record.response_bytes_sent,
+                    response_bytes_delivered=record.response_bytes_delivered,
+                )
+                if note:
+                    span.set(note=note)
         self.records.append(record)
+        registry = current_metrics()
+        if registry is not None:
+            registry.record_exchange(self.segment, record)
         return record
 
     # -- aggregates -----------------------------------------------------------

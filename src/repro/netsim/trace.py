@@ -4,13 +4,21 @@ The paper's evidence is packet captures; the simulator's equivalent is
 the traffic ledger.  This module flattens a ledger into an ordered event
 stream and serializes it as JSON Lines, so runs can be archived, diffed
 across versions, or post-processed with standard tooling.
+
+When a :class:`~repro.obs.tracer.Tracer` is active, each exchange also
+carries the ``trace_id``/``span_id`` of the span it happened under, so
+the event stream joins the span stream on those ids — one JSONL file
+holds both (see :func:`dump_joined_jsonl`).  Both fields are optional
+and omitted from JSON when unset, keeping untraced output byte-stable
+across versions; :meth:`TraceEvent.from_json` ignores unknown keys so
+either schema loads in either consumer.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
-from typing import IO, Dict, Iterable, List
+from dataclasses import asdict, dataclass, fields
+from typing import IO, Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.netsim.tap import TrafficLedger
 
@@ -31,14 +39,24 @@ class TraceEvent:
     response_bytes_delivered: int
     truncated: bool
     note: str
+    #: Id of the span this exchange happened under (``None`` untraced).
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
     def to_json(self) -> str:
-        return json.dumps(asdict(self), sort_keys=True)
+        payload = asdict(self)
+        # Omit unset ids so untraced output is byte-identical to the
+        # pre-observability schema.
+        for key in ("trace_id", "span_id"):
+            if payload[key] is None:
+                del payload[key]
+        return json.dumps(payload, sort_keys=True)
 
     @classmethod
     def from_json(cls, line: str) -> "TraceEvent":
         payload = json.loads(line)
-        return cls(**payload)
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
 
 
 def ledger_events(ledger: TrafficLedger) -> List[TraceEvent]:
@@ -65,6 +83,8 @@ def ledger_events(ledger: TrafficLedger) -> List[TraceEvent]:
                     response_bytes_delivered=record.response_bytes_delivered,
                     truncated=record.truncated,
                     note=record.note,
+                    trace_id=getattr(record, "trace_id", None),
+                    span_id=getattr(record, "span_id", None),
                 )
             )
             sequence += 1
@@ -85,6 +105,49 @@ def dump_jsonl(ledger: TrafficLedger, stream: IO[str]) -> int:
 def load_jsonl(stream: IO[str]) -> List[TraceEvent]:
     """Read events back from a JSON Lines stream."""
     return [TraceEvent.from_json(line) for line in stream if line.strip()]
+
+
+def dump_joined_jsonl(
+    events: Iterable[TraceEvent], spans: Iterable[Any], stream: IO[str]
+) -> int:
+    """Write one JSONL stream holding both exchanges and spans.
+
+    Exchange lines use the plain :class:`TraceEvent` schema; span lines
+    (any object with ``to_json()``, i.e. :class:`repro.obs.tracer.SpanRecord`)
+    carry ``"kind": "span"``.  Consumers join the two on
+    ``trace_id``/``span_id``.  Returns the total line count.
+    """
+    count = 0
+    for event in events:
+        stream.write(event.to_json())
+        stream.write("\n")
+        count += 1
+    for span in spans:
+        stream.write(span.to_json())
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def load_joined_jsonl(stream: IO[str]) -> Tuple[List[TraceEvent], List[Any]]:
+    """Read a joined stream back as ``(events, spans)``.
+
+    Lines tagged ``"kind": "span"`` become
+    :class:`~repro.obs.tracer.SpanRecord`; everything else is a
+    :class:`TraceEvent`.
+    """
+    from repro.obs.tracer import SpanRecord
+
+    events: List[TraceEvent] = []
+    spans: List[Any] = []
+    for line in stream:
+        if not line.strip():
+            continue
+        if json.loads(line).get("kind") == "span":
+            spans.append(SpanRecord.from_json(line))
+        else:
+            events.append(TraceEvent.from_json(line))
+    return events, spans
 
 
 def summarize(events: Iterable[TraceEvent]) -> Dict[str, Dict[str, int]]:

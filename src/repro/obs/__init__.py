@@ -1,0 +1,78 @@
+"""``repro.obs`` — tracing, metrics, progress, and profiling.
+
+The simulator's answer to the paper's four tcpdump observation points:
+a context-propagated span tracer over the request pipeline
+(:mod:`repro.obs.tracer`), a process-local metrics registry with JSON
+and Prometheus export (:mod:`repro.obs.metrics`), a live progress line
+for grid runs (:mod:`repro.obs.progress`), and the ``--profile``
+report (:mod:`repro.obs.profile`).
+
+Everything here defaults to **off**: with no tracer or registry
+installed the instrumentation points in ``netsim``/``cdn``/``origin``/
+``core`` cost one ``ContextVar`` read each and allocate nothing.
+"""
+
+from repro.obs.metrics import (
+    AMPLIFICATION_FACTOR,
+    CACHE_LOOKUPS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    RANGE_REWRITES,
+    RUNNER_CELL_SECONDS,
+    RUNNER_CELLS,
+    SEGMENT_EXCHANGES,
+    SEGMENT_REQUEST_BYTES,
+    SEGMENT_RESPONSE_BYTES_DELIVERED,
+    SEGMENT_RESPONSE_BYTES_SENT,
+    current_metrics,
+    use_metrics,
+)
+from repro.obs.profile import CellProfile, render_profile
+from repro.obs.progress import ProgressReporter
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    current_span,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "AMPLIFICATION_FACTOR",
+    "CACHE_LOOKUPS",
+    "CellProfile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "ProgressReporter",
+    "RANGE_REWRITES",
+    "RUNNER_CELLS",
+    "RUNNER_CELL_SECONDS",
+    "SEGMENT_EXCHANGES",
+    "SEGMENT_REQUEST_BYTES",
+    "SEGMENT_RESPONSE_BYTES_DELIVERED",
+    "SEGMENT_RESPONSE_BYTES_SENT",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "current_metrics",
+    "current_span",
+    "current_tracer",
+    "render_profile",
+    "use_metrics",
+    "use_tracer",
+]

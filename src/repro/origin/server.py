@@ -33,6 +33,7 @@ from repro.http.ranges import (
     try_parse_range_header,
 )
 from repro.http.status import StatusCode
+from repro.obs.tracer import current_tracer
 from repro.origin.resource import Resource, ResourceStore
 
 #: Fixed Date header: the simulation is deterministic, and a changing
@@ -88,6 +89,20 @@ class OriginServer:
 
     def handle(self, request: HttpRequest) -> HttpResponse:
         """Answer ``request`` (GET/HEAD; anything else is a 400)."""
+        with current_tracer().span("origin.handle") as span:
+            if span.recording:
+                span.set(
+                    method=request.method,
+                    target=request.target,
+                    range=request.headers.get("Range") or "",
+                    range_support=self.range_support,
+                )
+            response = self._handle_traced(request)
+            if span.recording:
+                span.set(status=response.status, body_bytes=len(response.body))
+            return response
+
+    def _handle_traced(self, request: HttpRequest) -> HttpResponse:
         self.stats.requests += 1
         if request.method not in ("GET", "HEAD"):
             return self._finish(self._error(StatusCode.BAD_REQUEST))

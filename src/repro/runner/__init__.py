@@ -24,7 +24,9 @@ failures are captured (type + message) instead of killing the sweep.
 
 from repro.runner.executor import (
     CellFailure,
+    CellObservation,
     CellOutcome,
+    CellTiming,
     GridResult,
     GridRunner,
     RunnerCellError,
@@ -34,21 +36,27 @@ from repro.runner.executor import (
 )
 from repro.runner.grid import ExperimentCell, ExperimentGrid
 from repro.runner.memo import Memo, MemoStats, clear_all_memos, measure_sbr, memoize
+from repro.runner.runall import RunAllReport, build_run_all_grid, run_all
 
 __all__ = [
     "CellFailure",
+    "CellObservation",
     "CellOutcome",
+    "CellTiming",
     "ExperimentCell",
     "ExperimentGrid",
     "GridResult",
     "GridRunner",
     "Memo",
     "MemoStats",
+    "RunAllReport",
     "RunnerCellError",
     "SERIAL_ENV",
     "WORKERS_ENV",
+    "build_run_all_grid",
     "clear_all_memos",
     "measure_sbr",
     "memoize",
     "resolve_workers",
+    "run_all",
 ]

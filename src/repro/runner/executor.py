@@ -33,10 +33,14 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.runner.grid import ExperimentCell, ExperimentGrid
+
+#: Signature of the runner's progress observer: called after every
+#: finished cell with ``(outcome, done_count, total_count)``.
+Observer = Callable[["CellOutcome", int, int], None]
 
 #: Environment variable forcing serial execution regardless of workers.
 SERIAL_ENV = "REPRO_RUNNER_SERIAL"
@@ -76,6 +80,24 @@ class CellFailure:
 
 
 @dataclass(frozen=True)
+class CellObservation:
+    """Per-cell observability payload: spans, trace events, and a
+    metrics snapshot collected while the cell ran.
+
+    Built only when the runner is asked to ``collect``; ships across the
+    process-pool boundary as plain tuples/dicts.
+    """
+
+    #: Finished :class:`~repro.obs.tracer.SpanRecord` objects.
+    spans: Tuple[Any, ...] = ()
+    #: :class:`~repro.netsim.trace.TraceEvent` objects from every
+    #: attack ledger the cell produced.
+    events: Tuple[Any, ...] = ()
+    #: A :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class CellOutcome:
     """One executed cell: its value or its failure, plus timing."""
 
@@ -86,6 +108,9 @@ class CellOutcome:
     #: Wall seconds the cell took; excluded from equality *and* repr so
     #: a parallel run's outcomes are byte-identical to a serial run's.
     duration_s: float = field(default=0.0, compare=False, repr=False)
+    #: Observability payload (``None`` unless the run collected); like
+    #: timing, excluded from equality and repr.
+    obs: Optional[CellObservation] = field(default=None, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -98,6 +123,44 @@ class CellOutcome:
                 f"cell {self.cell.label} failed: {self.failure.describe()}"
             )
         return self.value
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Aggregate per-cell wall-time statistics for one grid run.
+
+    Failed cells are **included** in every figure (a cell that burned
+    30 s before raising still burned 30 s) and additionally broken out
+    as ``failed_s``/``failed_count``.
+    """
+
+    total_s: float = 0.0
+    max_s: float = 0.0
+    mean_s: float = 0.0
+    ok_s: float = 0.0
+    failed_s: float = 0.0
+    count: int = 0
+    failed_count: int = 0
+    #: Label of the slowest cell ("" for an empty run).
+    slowest: str = ""
+
+    @classmethod
+    def from_outcomes(cls, outcomes: Tuple["CellOutcome", ...]) -> "CellTiming":
+        if not outcomes:
+            return cls()
+        total = sum(o.duration_s for o in outcomes)
+        failed = [o for o in outcomes if not o.ok]
+        peak = max(outcomes, key=lambda o: o.duration_s)
+        return cls(
+            total_s=total,
+            max_s=peak.duration_s,
+            mean_s=total / len(outcomes),
+            ok_s=total - sum(o.duration_s for o in failed),
+            failed_s=sum(o.duration_s for o in failed),
+            count=len(outcomes),
+            failed_count=len(failed),
+            slowest=peak.cell.label,
+        )
 
 
 @dataclass(frozen=True)
@@ -127,10 +190,10 @@ class GridResult:
         """Map cell key -> value for successful cells."""
         return {o.cell.key: o.value for o in self.outcomes if o.ok}
 
-    @property
-    def cell_seconds(self) -> float:
-        """Sum of per-cell wall time (serial-equivalent work)."""
-        return sum(outcome.duration_s for outcome in self.outcomes)
+    def cell_seconds(self) -> CellTiming:
+        """Per-cell wall-time statistics (total, max, mean, failed-cell
+        share) — not just the sum, and failed cells count too."""
+        return CellTiming.from_outcomes(self.outcomes)
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -148,26 +211,68 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _execute_indexed(index: int, cell: ExperimentCell) -> CellOutcome:
-    """Run one cell, capturing failure and timing (worker entry point)."""
+def _execute_indexed(
+    index: int, cell: ExperimentCell, collect: bool = False
+) -> CellOutcome:
+    """Run one cell, capturing failure and timing (worker entry point).
+
+    With ``collect=True`` the cell runs under a fresh
+    :class:`~repro.obs.tracer.Tracer` (span ids prefixed with the cell
+    index so traces from different cells never collide) and a fresh
+    :class:`~repro.obs.metrics.MetricsRegistry`; the harvest ships back
+    as :attr:`CellOutcome.obs`.
+    """
     from repro.runner.experiments import execute_cell
 
+    if not collect:
+        started = time.perf_counter()
+        try:
+            value = execute_cell(cell)
+            return CellOutcome(
+                cell=cell,
+                index=index,
+                value=value,
+                duration_s=time.perf_counter() - started,
+            )
+        except Exception as error:
+            return CellOutcome(
+                cell=cell,
+                index=index,
+                failure=CellFailure.from_exception(error),
+                duration_s=time.perf_counter() - started,
+            )
+
+    from repro.obs.metrics import MetricsRegistry, use_metrics
+    from repro.obs.tracer import Tracer, use_tracer
+
+    tracer = Tracer(id_prefix=f"c{index}.")
+    registry = MetricsRegistry()
+    value: Any = None
+    failure: Optional[CellFailure] = None
     started = time.perf_counter()
-    try:
-        value = execute_cell(cell)
-        return CellOutcome(
-            cell=cell,
-            index=index,
-            value=value,
-            duration_s=time.perf_counter() - started,
-        )
-    except Exception as error:
-        return CellOutcome(
-            cell=cell,
-            index=index,
-            failure=CellFailure.from_exception(error),
-            duration_s=time.perf_counter() - started,
-        )
+    with use_tracer(tracer), use_metrics(registry):
+        with tracer.span("runner.cell") as span:
+            span.set(experiment=cell.experiment, label=cell.label, index=index)
+            try:
+                value = execute_cell(cell)
+                span.set(ok=True)
+            except Exception as error:
+                failure = CellFailure.from_exception(error)
+                span.set(ok=False, error=failure.describe())
+    duration = time.perf_counter() - started
+    registry.record_cell(cell.experiment, duration, failure is None)
+    return CellOutcome(
+        cell=cell,
+        index=index,
+        value=value,
+        failure=failure,
+        duration_s=duration,
+        obs=CellObservation(
+            spans=tracer.finished_spans(),
+            events=tracer.events(),
+            metrics=registry.snapshot(),
+        ),
+    )
 
 
 class GridRunner:
@@ -177,17 +282,29 @@ class GridRunner:
         self,
         workers: Optional[int] = None,
         max_pending: Optional[int] = None,
+        collect: bool = False,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.workers = resolve_workers(workers)
         #: Cap on futures in flight; bounds memory for very large grids.
         self.max_pending = max_pending if max_pending is not None else self.workers * 4
+        #: When true, every cell runs traced+metered and its outcome
+        #: carries a :class:`CellObservation`.
+        self.collect = collect
+        #: Progress callback invoked after every finished cell (in
+        #: completion order, which differs from grid order under a pool).
+        self.observer = observer
 
     def run(self, grid: ExperimentGrid) -> GridResult:
         """Run every cell; outcomes come back in grid order."""
         started = time.perf_counter()
         cells = grid.cells
         if self.workers <= 1 or len(cells) <= 1:
-            outcomes = [_execute_indexed(i, cell) for i, cell in enumerate(cells)]
+            outcomes = []
+            for i, cell in enumerate(cells):
+                outcome = _execute_indexed(i, cell, collect=self.collect)
+                outcomes.append(outcome)
+                self._notify(outcome, len(outcomes), len(cells))
             effective_workers = 1
         else:
             outcomes = self._run_pool(cells)
@@ -199,9 +316,14 @@ class GridRunner:
             duration_s=time.perf_counter() - started,
         )
 
+    def _notify(self, outcome: CellOutcome, done: int, total: int) -> None:
+        if self.observer is not None:
+            self.observer(outcome, done, total)
+
     def _run_pool(self, cells: Tuple[ExperimentCell, ...]) -> List[CellOutcome]:
         slots: List[Optional[CellOutcome]] = [None] * len(cells)
         queue = iter(enumerate(cells))
+        completed = 0
         with ProcessPoolExecutor(max_workers=min(self.workers, len(cells))) as pool:
             pending = set()
             exhausted = False
@@ -212,12 +334,16 @@ class GridRunner:
                     except StopIteration:
                         exhausted = True
                         break
-                    pending.add(pool.submit(_execute_indexed, index, cell))
+                    pending.add(
+                        pool.submit(_execute_indexed, index, cell, self.collect)
+                    )
                 if not pending:
                     continue
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     outcome = future.result()
                     slots[outcome.index] = outcome
+                    completed += 1
+                    self._notify(outcome, completed, len(cells))
         assert all(outcome is not None for outcome in slots)
         return [outcome for outcome in slots if outcome is not None]

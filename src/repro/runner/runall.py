@@ -15,15 +15,16 @@ returns objects equal to the serial regeneration for every N.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cdn.vendors import all_vendor_names
 from repro.core.obr import vulnerable_combinations
 from repro.core.practical import flood_grid
 from repro.core.sbr import sbr_grid
-from repro.runner.executor import GridRunner
+from repro.obs.profile import CellProfile
+from repro.runner.executor import CellTiming, GridRunner, Observer
 from repro.runner.grid import ExperimentGrid
 from repro.runner.memo import sbr_per_request_traffic
 
@@ -48,6 +49,16 @@ class RunAllReport:
     #: Sum of per-cell seconds (the serial-equivalent work).
     cell_seconds: float
     cell_count: int
+    #: Aggregate per-cell wall-time statistics for the whole run.
+    timing: CellTiming = field(default_factory=CellTiming)
+    #: Per-experiment timing breakdown (experiment name -> CellTiming).
+    timing_by_experiment: Dict[str, CellTiming] = field(default_factory=dict)
+    #: One profile entry per executed grid cell, in grid order.
+    cells: Tuple[CellProfile, ...] = ()
+    #: Observability harvest — empty unless the run collected.
+    spans: Tuple[Any, ...] = ()
+    events: Tuple[Any, ...] = ()
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -95,6 +106,8 @@ def run_all(
     workers: Optional[int] = None,
     quick: bool = False,
     vendors: Optional[Sequence[str]] = None,
+    collect_obs: bool = False,
+    observer: Optional[Observer] = None,
 ) -> RunAllReport:
     """Regenerate Tables IV–V and Figs 6–7 in one grid run.
 
@@ -102,6 +115,11 @@ def run_all(
     Fig 6 at three sizes, two Table V cascades, three Fig 7 points) —
     the CI path.  Results are identical to the serial regeneration; the
     equivalence tests pin this.
+
+    ``collect_obs=True`` runs every cell traced and metered: the report
+    then carries the merged span/event streams and metrics snapshot
+    (``--trace``/``--metrics``).  ``observer`` is forwarded to the
+    runner for live progress.
     """
     from repro.reporting.figures import fig6_series_from_results
     from repro.reporting.tables import (
@@ -130,7 +148,7 @@ def run_all(
         table5_combos=combos,
         fig7_ms=fig7_ms,
     )
-    runner = GridRunner(workers)
+    runner = GridRunner(workers, collect=collect_obs, observer=observer)
     result = runner.run(grid)
     result.values()  # any failed cell aborts the regeneration, loudly
 
@@ -138,6 +156,40 @@ def run_all(
     flood_values = [
         outcome.value for outcome in result if outcome.cell.experiment == "flood"
     ]
+
+    timing = result.cell_seconds()
+    by_experiment: Dict[str, List] = {}
+    for outcome in result:
+        by_experiment.setdefault(outcome.cell.experiment, []).append(outcome)
+    timing_by_experiment = {
+        name: CellTiming.from_outcomes(tuple(outcomes))
+        for name, outcomes in by_experiment.items()
+    }
+    cells = tuple(
+        CellProfile(
+            experiment=outcome.cell.experiment,
+            label=outcome.cell.label,
+            ok=outcome.ok,
+            duration_s=outcome.duration_s,
+        )
+        for outcome in result
+    )
+
+    spans: List[Any] = []
+    events: List[Any] = []
+    metrics: Dict[str, Any] = {}
+    if collect_obs:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for outcome in result:
+            if outcome.obs is None:
+                continue
+            spans.extend(outcome.obs.spans)
+            events.extend(outcome.obs.events)
+            registry.merge_snapshot(outcome.obs.metrics)
+        metrics = registry.snapshot()
+
     return RunAllReport(
         table4=table4_rows_from_results(by_key, names, table4_sizes),
         table5=table5_rows_from_results(by_key, combos),
@@ -145,8 +197,14 @@ def run_all(
         fig7=flood_values,
         workers=result.workers,
         duration_s=result.duration_s,
-        cell_seconds=result.cell_seconds,
+        cell_seconds=timing.total_s,
         cell_count=len(result),
+        timing=timing,
+        timing_by_experiment=timing_by_experiment,
+        cells=cells,
+        spans=tuple(spans),
+        events=tuple(events),
+        metrics=metrics,
     )
 
 

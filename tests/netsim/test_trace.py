@@ -1,11 +1,21 @@
 """Tests for trace export/import."""
 
 import io
+import json
 
 from repro.core.sbr import SbrAttack
 from repro.http.message import HttpRequest, HttpResponse
 from repro.netsim.tap import CDN_ORIGIN, CLIENT_CDN, TrafficLedger
-from repro.netsim.trace import dump_jsonl, ledger_events, load_jsonl, summarize
+from repro.netsim.trace import (
+    TraceEvent,
+    dump_joined_jsonl,
+    dump_jsonl,
+    ledger_events,
+    load_joined_jsonl,
+    load_jsonl,
+    summarize,
+)
+from repro.obs.tracer import SpanRecord, Tracer, use_tracer
 
 MB = 1 << 20
 
@@ -54,6 +64,93 @@ class TestEvents:
                 totals[segment]["response_bytes_delivered"]
                 == stats.response_bytes_delivered
             )
+
+    def test_untraced_json_matches_pre_observability_schema(self):
+        """Without a tracer the emitted JSON has no id keys at all — the
+        byte format is identical to the pre-observability schema."""
+        event = ledger_events(_populated_ledger())[0]
+        payload = json.loads(event.to_json())
+        assert "trace_id" not in payload
+        assert "span_id" not in payload
+
+    def test_traced_exchanges_stamp_ids_into_events(self):
+        ledger = TrafficLedger()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            connection = ledger.open_connection(CLIENT_CDN)
+            request = HttpRequest("GET", "/x", headers=[("Host", "h")])
+            connection.exchange(request, HttpResponse(200, body=10))
+        (event,) = ledger_events(ledger)
+        (span,) = tracer.finished_spans()
+        assert event.trace_id == span.trace_id
+        assert event.span_id == span.span_id
+
+
+class TestSchemaCompat:
+    """Satellite: forward/backward schema compatibility of from_json."""
+
+    def _event(self, **overrides):
+        base = dict(
+            sequence=0, segment=CLIENT_CDN, client="a", server="b",
+            connection_index=0, exchange_index=0, status=206,
+            request_bytes=100, response_bytes_sent=5000,
+            response_bytes_delivered=5000, truncated=False, note="",
+        )
+        base.update(overrides)
+        return TraceEvent(**base)
+
+    def test_old_schema_line_loads_in_new_consumer(self):
+        """A line written before trace ids existed parses; ids default
+        to None."""
+        old_line = self._event().to_json()  # untraced == old schema
+        loaded = TraceEvent.from_json(old_line)
+        assert loaded.trace_id is None
+        assert loaded.span_id is None
+        assert loaded == self._event()
+
+    def test_new_schema_line_round_trips_with_ids(self):
+        event = self._event(trace_id="t0", span_id="s3")
+        loaded = TraceEvent.from_json(event.to_json())
+        assert loaded == event
+        assert loaded.span_id == "s3"
+
+    def test_unknown_keys_ignored(self):
+        """A line from a *future* schema (extra keys) still loads — the
+        old-consumer direction of the compat satellite."""
+        payload = json.loads(self._event(trace_id="t0", span_id="s1").to_json())
+        payload["hop_latency_ns"] = 12345
+        payload["labels"] = {"dc": "fra1"}
+        loaded = TraceEvent.from_json(json.dumps(payload))
+        assert loaded == self._event(trace_id="t0", span_id="s1")
+
+    def test_round_trip_across_both_schemas(self):
+        """old → new → old: parsing an old line and re-serializing it
+        reproduces the old bytes exactly."""
+        old_line = self._event().to_json()
+        assert TraceEvent.from_json(old_line).to_json() == old_line
+
+
+class TestJoinedStream:
+    def test_joined_dump_and_load_partition_by_kind(self):
+        ledger = _populated_ledger()
+        spans = (
+            SpanRecord("t0", "s0", None, "client.request", 0.0, 1.0),
+            SpanRecord("t0", "s1", "s0", "cdn.handle", 0.0, 1.0),
+        )
+        buffer = io.StringIO()
+        count = dump_joined_jsonl(ledger_events(ledger), spans, buffer)
+        assert count == 5
+        buffer.seek(0)
+        events, loaded_spans = load_joined_jsonl(buffer)
+        assert events == ledger_events(ledger)
+        assert tuple(loaded_spans) == spans
+
+    def test_plain_loader_still_reads_event_only_streams(self):
+        ledger = _populated_ledger()
+        buffer = io.StringIO()
+        dump_joined_jsonl(ledger_events(ledger), (), buffer)
+        buffer.seek(0)
+        assert load_jsonl(buffer) == ledger_events(ledger)
 
     def test_attack_run_exports_cleanly(self):
         """An SBR run's ledger is exportable and its summary reproduces

@@ -1,0 +1,222 @@
+"""End-to-end tracing/metrics through the attack pipeline.
+
+The acceptance bar: a traced run emits at least one span per hop per
+exchange with parent/child linkage, per-exchange byte attributes that
+sum to the TrafficLedger's per-segment totals, and a metrics snapshot
+whose per-segment byte counters equal those totals **exactly**.
+"""
+
+from collections import defaultdict
+
+from repro.core.obr import ObrAttack
+from repro.core.sbr import SbrAttack
+from repro.netsim.tap import BCDN_ORIGIN, CDN_ORIGIN, CLIENT_CDN, FCDN_BCDN
+from repro.obs.metrics import (
+    SEGMENT_EXCHANGES,
+    SEGMENT_REQUEST_BYTES,
+    SEGMENT_RESPONSE_BYTES_DELIVERED,
+    SEGMENT_RESPONSE_BYTES_SENT,
+    MetricsRegistry,
+    use_metrics,
+)
+from repro.obs.tracer import Tracer, use_tracer
+
+MB = 1 << 20
+
+#: The hop spans a single-CDN exchange must produce at least once.
+SINGLE_CDN_HOPS = (
+    "client.request",
+    "cdn.handle",
+    "cdn.cache.lookup",
+    "cdn.fetch",
+    "cdn.upstream",
+    "origin.handle",
+    "net.exchange",
+)
+
+
+def traced_sbr(vendor="gcore", size=1 * MB, **kwargs):
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        result = SbrAttack(vendor, resource_size=size, **kwargs).run()
+    return result, tracer, registry
+
+
+def by_name(spans):
+    grouped = defaultdict(list)
+    for span in spans:
+        grouped[span.name].append(span)
+    return grouped
+
+
+class TestSpanTree:
+    def test_every_hop_emits_a_span(self):
+        _, tracer, _ = traced_sbr()
+        names = by_name(tracer.finished_spans())
+        for hop in SINGLE_CDN_HOPS:
+            assert names[hop], f"no span for hop {hop}"
+
+    def test_parent_child_linkage_is_closed_and_rooted(self):
+        _, tracer, _ = traced_sbr()
+        spans = tracer.finished_spans()
+        by_id = {span.span_id: span for span in spans}
+        roots = [span for span in spans if span.parent_id is None]
+        assert [root.name for root in roots] == ["attack.sbr"]
+        for span in spans:
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]  # KeyError = broken linkage
+            assert parent.trace_id == span.trace_id
+            assert parent.start <= span.start
+
+    def test_hop_nesting_matches_the_topology(self):
+        """client.request > cdn.handle > cdn.fetch > cdn.upstream >
+        origin.handle — each hop's span parents the next hop's."""
+        _, tracer, _ = traced_sbr()
+        spans = tracer.finished_spans()
+        by_id = {span.span_id: span for span in spans}
+
+        def parent_name(span):
+            return by_id[span.parent_id].name if span.parent_id else None
+
+        names = by_name(spans)
+        assert all(parent_name(s) == "attack.sbr" for s in names["client.request"])
+        assert all(parent_name(s) == "client.request" for s in names["cdn.handle"])
+        assert all(parent_name(s) == "cdn.handle" for s in names["cdn.cache.lookup"])
+        assert all(parent_name(s) == "cdn.handle" for s in names["cdn.fetch"])
+        assert all(parent_name(s) == "cdn.fetch" for s in names["cdn.upstream"])
+        assert all(parent_name(s) == "cdn.upstream" for s in names["origin.handle"])
+
+    def test_one_exchange_span_per_ledger_exchange(self):
+        result, tracer, _ = traced_sbr()
+        exchange_spans = by_name(tracer.finished_spans())["net.exchange"]
+        ledger_exchanges = sum(
+            stats.exchange_count for stats in result.report.segments.values()
+        )
+        assert len(exchange_spans) == ledger_exchanges
+
+    def test_exchange_byte_attributes_sum_to_ledger_totals(self):
+        result, tracer, _ = traced_sbr()
+        sums = defaultdict(lambda: defaultdict(int))
+        for span in by_name(tracer.finished_spans())["net.exchange"]:
+            for key in ("request_bytes", "response_bytes_sent",
+                        "response_bytes_delivered"):
+                sums[span.attributes["segment"]][key] += span.attributes[key]
+        for segment, stats in result.report.segments.items():
+            assert sums[segment]["request_bytes"] == stats.request_bytes
+            assert sums[segment]["response_bytes_sent"] == stats.response_bytes_sent
+            assert (
+                sums[segment]["response_bytes_delivered"]
+                == stats.response_bytes_delivered
+            )
+
+    def test_span_attributes_carry_vendor_policy_and_cache(self):
+        _, tracer, _ = traced_sbr(vendor="gcore")
+        names = by_name(tracer.finished_spans())
+        handle = names["cdn.handle"][0]
+        assert handle.attributes["vendor"] == "gcore"
+        assert handle.attributes["range"] == "bytes=0-0"
+        assert handle.attributes["cache"] == "miss"
+        assert handle.attributes["policy"] == "deletion"
+        lookup = names["cdn.cache.lookup"][0]
+        assert lookup.attributes["hit"] is False
+
+    def test_attack_span_amplification_matches_result(self):
+        result, tracer, _ = traced_sbr()
+        (attack,) = by_name(tracer.finished_spans())["attack.sbr"]
+        assert attack.attributes["amplification"] == result.amplification
+
+
+class TestLedgerEventCapture:
+    def test_events_join_spans_on_ids(self):
+        _, tracer, _ = traced_sbr()
+        span_ids = {span.span_id for span in tracer.finished_spans()}
+        events = tracer.events()
+        assert events
+        for event in events:
+            assert event.trace_id is not None
+            assert event.span_id in span_ids
+
+    def test_event_bytes_match_their_span_attributes(self):
+        _, tracer, _ = traced_sbr()
+        by_id = {span.span_id: span for span in tracer.finished_spans()}
+        for event in tracer.events():
+            attrs = by_id[event.span_id].attributes
+            assert attrs["segment"] == event.segment
+            assert attrs["request_bytes"] == event.request_bytes
+            assert attrs["response_bytes_sent"] == event.response_bytes_sent
+            assert attrs["response_bytes_delivered"] == event.response_bytes_delivered
+
+
+class TestMetricsEqualLedger:
+    def _assert_counters_equal_segments(self, registry, segments):
+        for name, field in (
+            (SEGMENT_REQUEST_BYTES, "request_bytes"),
+            (SEGMENT_RESPONSE_BYTES_SENT, "response_bytes_sent"),
+            (SEGMENT_RESPONSE_BYTES_DELIVERED, "response_bytes_delivered"),
+        ):
+            counter = registry.counter(name)
+            for segment, stats in segments.items():
+                assert counter.value(segment=segment) == getattr(stats, field), (
+                    f"{name}[{segment}]"
+                )
+        exchanges = registry.counter(SEGMENT_EXCHANGES)
+        for segment, stats in segments.items():
+            assert exchanges.value(segment=segment) == stats.exchange_count
+
+    def test_sbr_segment_counters_equal_ledger_exactly(self):
+        result, _, registry = traced_sbr()
+        assert set(result.report.segments) == {CLIENT_CDN, CDN_ORIGIN}
+        self._assert_counters_equal_segments(registry, result.report.segments)
+
+    def test_keycdn_double_request_counted(self):
+        """KeyCDN's exploited case sends the same request twice; both
+        rounds land in the counters and the ledger identically."""
+        result, _, registry = traced_sbr(vendor="keycdn")
+        self._assert_counters_equal_segments(registry, result.report.segments)
+        assert registry.counter(SEGMENT_EXCHANGES).value(segment=CLIENT_CDN) == 2
+
+    def test_azure_dual_connection_counted(self):
+        """Azure's two back-to-origin connections (deletion + expansion)
+        both appear — and the truncated first delivery keeps sent >
+        delivered on cdn-origin."""
+        result, tracer, registry = traced_sbr(vendor="azure", size=10 * MB)
+        self._assert_counters_equal_segments(registry, result.report.segments)
+        upstream_notes = [
+            span.attributes.get("note", "")
+            for span in tracer.finished_spans()
+            if span.name == "cdn.upstream"
+        ]
+        assert len(upstream_notes) == 2
+        assert any("deletion" in note for note in upstream_notes)
+        assert any("expansion" in note for note in upstream_notes)
+        stats = result.report.segments[CDN_ORIGIN]
+        assert stats.response_bytes_sent > stats.response_bytes_delivered
+
+    def test_obr_pinned_run_counters_equal_ledger_exactly(self):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_metrics(registry):
+            result = ObrAttack("cloudflare", "akamai").run(overlap_count=50)
+        assert set(result.report.segments) == {CLIENT_CDN, FCDN_BCDN, BCDN_ORIGIN}
+        self._assert_counters_equal_segments(registry, result.report.segments)
+        # The cascade shows up as nested cdn.handle spans: FCDN's wraps
+        # the BCDN's.
+        handles = [s for s in tracer.finished_spans() if s.name == "cdn.handle"]
+        vendors = {s.attributes["vendor"] for s in handles}
+        assert vendors == {"cloudflare", "akamai"}
+
+    def test_amplification_histogram_observes_each_run(self):
+        _, _, registry = traced_sbr()
+        histogram = registry.histogram("repro_amplification_factor")
+        assert histogram.count(victim_segment=CDN_ORIGIN) == 1
+
+    def test_rewrite_counter_by_policy(self):
+        _, _, registry = traced_sbr(vendor="gcore")
+        assert (
+            registry.counter("repro_range_rewrites_total").value(
+                vendor="gcore", policy="deletion"
+            )
+            == 1
+        )

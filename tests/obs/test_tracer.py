@@ -1,0 +1,182 @@
+"""Tests for the span tracer: ids, nesting, context propagation, and
+the null-object disabled path."""
+
+import json
+
+import pytest
+
+from repro.netsim.clock import SimClock
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    current_span,
+    current_tracer,
+    use_tracer,
+)
+
+
+class TestTracer:
+    def test_root_span_has_no_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        (record,) = tracer.finished_spans()
+        assert record.name == "root"
+        assert record.parent_id is None
+        assert record.trace_id == "t0"
+        assert record.span_id == "s0"
+
+    def test_nested_spans_link_parent_child(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                assert child.parent_id == parent.span_id
+                assert child.trace_id == parent.trace_id
+        child_record, parent_record = tracer.finished_spans()
+        assert child_record.name == "child"
+        assert child_record.parent_id == parent_record.span_id
+
+    def test_sibling_roots_get_separate_traces(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.finished_spans()
+        assert first.trace_id == "t0"
+        assert second.trace_id == "t1"
+        assert first.span_id != second.span_id
+
+    def test_id_prefix_namespaces_all_ids(self):
+        tracer = Tracer(id_prefix="c7.")
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        for record in tracer.finished_spans():
+            assert record.trace_id == "c7.t0"
+            assert record.span_id.startswith("c7.s")
+
+    def test_ids_are_deterministic_across_tracers(self):
+        def run():
+            tracer = Tracer()
+            with tracer.span("x"):
+                with tracer.span("y"):
+                    pass
+            return [
+                (r.trace_id, r.span_id, r.parent_id, r.name)
+                for r in tracer.finished_spans()
+            ]
+
+        assert run() == run()
+
+    def test_attributes_captured_last_write_wins(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.set(vendor="akamai", bytes=1)
+            span.set(bytes=2)
+        (record,) = tracer.finished_spans()
+        assert record.attributes == {"vendor": "akamai", "bytes": 2}
+
+    def test_sim_clock_drives_start_end(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        clock.advance(5.0)
+        with tracer.span("s"):
+            clock.advance(2.5)
+        (record,) = tracer.finished_spans()
+        assert record.start == 5.0
+        assert record.end == 7.5
+
+    def test_exception_unwinds_and_still_records(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        names = [r.name for r in tracer.finished_spans()]
+        assert names == ["inner", "outer"]
+        assert tracer.current_span is NULL_SPAN
+
+    def test_current_span_is_null_when_idle(self):
+        assert Tracer().current_span is NULL_SPAN
+
+
+class TestContextPropagation:
+    def test_default_tracer_is_the_null_singleton(self):
+        assert current_tracer() is NULL_TRACER
+        assert current_span() is NULL_SPAN
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with tracer.span("s") as span:
+                assert current_span() is span
+        assert current_tracer() is NULL_TRACER
+
+    def test_nested_use_tracer_restores_outer(self):
+        outer, inner = Tracer(), Tracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+
+
+class TestNullPath:
+    def test_null_tracer_returns_shared_singletons(self):
+        tracer = NullTracer()
+        assert tracer.span("anything") is NULL_SPAN
+        assert tracer.current_span is NULL_SPAN
+        assert NULL_TRACER.span("x") is NULL_TRACER.span("y")
+
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("x") as span:
+            assert span.recording is False
+            assert span.trace_id is None
+            assert span.span_id is None
+            assert span.set(a=1) is span
+        assert NULL_TRACER.finished_spans() == ()
+        assert NULL_TRACER.events() == ()
+
+    def test_null_record_ledger_is_a_no_op(self):
+        NULL_TRACER.record_ledger(object())
+        assert NULL_TRACER.events() == ()
+
+    def test_enabled_flags(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+
+class TestSpanRecordSerialization:
+    def _record(self):
+        return SpanRecord(
+            trace_id="t0",
+            span_id="s1",
+            parent_id="s0",
+            name="cdn.handle",
+            start=0.0,
+            end=1.5,
+            wall_ms=3.25,
+            attributes={"vendor": "akamai", "hit": False},
+        )
+
+    def test_round_trip(self):
+        record = self._record()
+        assert SpanRecord.from_json(record.to_json()) == record
+
+    def test_json_is_tagged_as_span(self):
+        assert json.loads(self._record().to_json())["kind"] == "span"
+
+    def test_from_json_tolerates_unknown_keys(self):
+        payload = json.loads(self._record().to_json())
+        payload["future_field"] = {"nested": True}
+        loaded = SpanRecord.from_json(json.dumps(payload))
+        assert loaded == self._record()
+
+    def test_wall_ms_excluded_from_equality(self):
+        a = self._record()
+        b = SpanRecord(**{**a.__dict__, "wall_ms": 99.0})
+        assert a == b
