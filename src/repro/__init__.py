@@ -22,6 +22,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from __future__ import annotations
+
 from repro.cdn.cluster import EdgeCluster
 from repro.cdn.vendors import all_vendor_names, create_profile
 from repro.clienttools.downloader import ResumingDownload, SegmentedDownloader

@@ -1,0 +1,56 @@
+"""Static analysis: amplification bounds and repo invariants.
+
+Two independent passes (ISSUE 3):
+
+* **Config analysis** — :func:`~repro.analysis.report.analyze_vendor_matrix`
+  and :func:`~repro.analysis.report.analyze_deployment` classify vendors
+  and cascades as SBR/OBR-vulnerable straight from their
+  ``forward_decision`` tables, reply behaviors, and header limits, and
+  compute closed-form worst-case amplification bounds (paper §IV) without
+  simulating a single wire byte.
+* **Code analysis** — :mod:`repro.analysis.lint` is an AST linter that
+  enforces the repo's wire-accounting and typing invariants; it backs the
+  ``repro lint`` CLI command and a pytest guard.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import ObrBound, SbrBound, obr_bound, sbr_bound, static_max_n
+from repro.analysis.classify import (
+    CascadeClassification,
+    ObrBackendFacts,
+    ProbeDecision,
+    SbrClassification,
+    classify_cascade,
+    classify_obr_backend,
+    classify_obr_frontend,
+    classify_sbr,
+)
+from repro.analysis.report import (
+    AnalysisReport,
+    Finding,
+    analyze_deployment,
+    analyze_vendor_matrix,
+    render_findings_table,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CascadeClassification",
+    "Finding",
+    "ObrBackendFacts",
+    "ObrBound",
+    "ProbeDecision",
+    "SbrBound",
+    "SbrClassification",
+    "analyze_deployment",
+    "analyze_vendor_matrix",
+    "classify_cascade",
+    "classify_obr_backend",
+    "classify_obr_frontend",
+    "classify_sbr",
+    "obr_bound",
+    "render_findings_table",
+    "sbr_bound",
+    "static_max_n",
+]

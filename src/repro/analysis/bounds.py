@@ -1,0 +1,361 @@
+"""Closed-form worst-case amplification bounds (paper §IV).
+
+The paper derives its amplification factors analytically before
+measuring anything: SBR ≈ resource size over the attacker's tiny
+response (§IV-B), OBR ≈ ``n·(F + part overhead)`` over one full fetch
+(§IV-C).  This module computes those bounds as *sound upper limits* on
+what the simulation stack can ever report, from the same inputs the
+simulation uses — vendor profiles, header limits, and the overhead
+model — but without opening a connection.
+
+Soundness contract (pinned by ``tests/analysis/test_cross_check.py``):
+for every cell of the run-all grid,
+``simulated factor <= bound.factor``.  Numerators are over-estimated
+(header allowances added, per-fetch framing and handshake included) and
+denominators under-estimated (body bytes ignored, padding slack
+subtracted), so the ratio can only be pessimistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cdn.vendors import create_profile
+from repro.cdn.vendors.azure import DEFAULT_ABORT_SLOP, EIGHT_MB, WINDOW_LAST
+from repro.cdn.vendors.base import VendorContext
+from repro.cdn.vendors.cloudfront import MULTI_RANGE_WINDOW_CAP
+from repro.errors import ConfigurationError, RequestRejectedError
+from repro.http.grammar import overlapping_open_ranges_value
+from repro.http.message import HttpRequest
+from repro.http.ranges import try_parse_range_header
+from repro.netsim.overhead import NullOverheadModel, OverheadModel, TcpOverheadModel
+
+MB = 1 << 20
+
+#: Upper bound on any origin response header block in this simulation
+#: (status line through blank line).  The Apache-like origin emits well
+#: under 400 bytes; 1 KB leaves slack for relayed validators.
+ORIGIN_HEADER_ALLOWANCE = 1024
+
+#: Upper bound on a CDN's own response header block *above* its
+#: calibrated padding target (vendor identity headers, multipart
+#: Content-Type, Content-Length digits).
+CDN_HEADER_ALLOWANCE = 1024
+
+#: ``pad_response`` guarantees the client header block reaches
+#: ``client_header_block_target`` minus at most the pad header's own
+#: framing (name + ``": "`` + CRLF).  The longest pad header name in the
+#: registry is 15 characters, so 40 bytes of slack is safe.
+PAD_HEADER_SLACK = 40
+
+#: Absolute floor on any HTTP response's wire size (status line plus the
+#: mandatory headers every node emits).
+RESPONSE_WIRE_FLOOR = 64
+
+
+@dataclass(frozen=True)
+class _Fetch:
+    """One back-to-origin exchange in a vendor's worst-case fetch plan."""
+
+    #: Upper bound on the response *payload* bytes the origin sends.
+    payload_upper: int
+    #: Delivery cap the node imposes (Azure's connection cut), if any.
+    payload_cap: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SbrBound:
+    """Static worst-case bound for one SBR cell (vendor × size)."""
+
+    vendor: str
+    resource_size: int
+    #: Range values one attack round sends (Table IV column 2).
+    range_cases: Tuple[str, ...]
+    #: Back-to-origin exchanges one round triggers at most.
+    origin_fetches: int
+    #: Upper bound on victim-side (cdn-origin) response bytes per round.
+    origin_bytes_upper: int
+    #: Client responses one round produces.
+    client_responses: int
+    #: Lower bound on attacker-side (client-cdn) response bytes per round.
+    client_bytes_lower: int
+
+    @property
+    def factor(self) -> float:
+        """Upper bound on the simulated amplification factor."""
+        if self.client_bytes_lower <= 0:
+            return 0.0
+        return self.origin_bytes_upper / self.client_bytes_lower
+
+
+def sbr_bound(
+    vendor: str,
+    resource_size: int,
+    overhead: Optional[OverheadModel] = None,
+) -> SbrBound:
+    """Closed-form worst-case SBR amplification for one vendor × size.
+
+    Mirrors :class:`~repro.core.sbr.SbrAttack` analytically: the
+    numerator upper-bounds the per-round ``cdn-origin`` response traffic
+    under the vendor's fetch plan (including multi-connection flows and
+    Azure's delivery cut), the denominator lower-bounds the per-round
+    ``client-cdn`` response traffic from the calibrated header-padding
+    targets.
+    """
+    from repro.core.sbr import exploited_range_cases
+
+    model = overhead if overhead is not None else NullOverheadModel()
+    cases = exploited_range_cases(vendor, resource_size)
+    fetches = _fetch_plan(vendor, resource_size)
+
+    origin_upper = 0
+    for fetch in fetches:
+        sent = (
+            model.framed_size(fetch.payload_upper + ORIGIN_HEADER_ALLOWANCE)
+            + model.connection_setup_bytes()
+        )
+        if fetch.payload_cap is not None:
+            # Delivered bytes are capped at header block + payload cap.
+            sent = min(sent, fetch.payload_cap + ORIGIN_HEADER_ALLOWANCE)
+        origin_upper += sent
+
+    profile_cls = type(create_profile(vendor))
+    per_response = max(
+        RESPONSE_WIRE_FLOOR,
+        profile_cls.client_header_block_target - PAD_HEADER_SLACK,
+    )
+    client_lower = len(cases) * per_response
+
+    return SbrBound(
+        vendor=vendor,
+        resource_size=resource_size,
+        range_cases=tuple(cases),
+        origin_fetches=len(fetches),
+        origin_bytes_upper=origin_upper,
+        client_responses=len(cases),
+        client_bytes_lower=client_lower,
+    )
+
+
+def _fetch_plan(vendor: str, resource_size: int) -> List[_Fetch]:
+    """Worst-case back-to-origin exchanges for one exploited round.
+
+    Derived from each profile's documented fetch flow (§V-A): most
+    vendors make one full-representation fetch; KeyCDN's stateful flow
+    and StackPath's 206-triggered refetch add a small lazy 206 first;
+    Azure cuts past 8 MB and may open the expansion window; CloudFront
+    never widens a multi-range past its 10 MB window cap.
+    """
+    if vendor == "keycdn" or vendor == "stackpath":
+        # A lazy single-byte 206, then the full representation.
+        return [_Fetch(payload_upper=1), _Fetch(payload_upper=resource_size)]
+    if vendor == "azure":
+        plan = [
+            _Fetch(
+                payload_upper=resource_size,
+                payload_cap=EIGHT_MB + DEFAULT_ABORT_SLOP,
+            )
+        ]
+        if resource_size > EIGHT_MB:
+            # Second connection with Range: bytes=8388608-16777215.
+            window = min(resource_size - 1, WINDOW_LAST) - EIGHT_MB + 1
+            plan.append(_Fetch(payload_upper=max(0, window)))
+        return plan
+    if vendor == "cloudfront":
+        return [_Fetch(payload_upper=min(resource_size, MULTI_RANGE_WINDOW_CAP))]
+    return [_Fetch(payload_upper=resource_size)]
+
+
+# ---------------------------------------------------------------------------
+# OBR
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ObrBound:
+    """Static worst-case bound for one OBR cascade cell."""
+
+    fcdn: str
+    bcdn: str
+    resource_size: int
+    #: Largest ``n`` that survives both CDNs' header limits (static
+    #: search; 0 when the cascade is not exploitable).
+    max_n: int
+    #: Upper bound on the per-part multipart framing overhead.
+    part_overhead_upper: int
+    #: Upper bound on victim-side (fcdn-bcdn) response bytes.
+    victim_bytes_upper: int
+    #: Lower bound on attacker-side (bcdn-origin) response bytes.
+    attacker_bytes_lower: int
+
+    @property
+    def factor(self) -> float:
+        """Upper bound on the simulated amplification factor."""
+        if self.attacker_bytes_lower <= 0:
+            return 0.0
+        return self.victim_bytes_upper / self.attacker_bytes_lower
+
+
+def static_max_n(
+    fcdn: str,
+    bcdn: str,
+    resource_size: int = 1024,
+    resource_path: str = "/1KB.bin",
+    host: str = "victim.example",
+    lower: int = 2,
+    upper: int = 32768,
+) -> int:
+    """The largest forwarded-unchanged ``n``, from pure limit checks.
+
+    Replays :meth:`~repro.core.obr.ObrAttack.find_max_n`'s binary search
+    without any deployment: a candidate ``n`` survives when the FCDN's
+    ingress limits admit the client request, the FCDN's decision table
+    forwards the Range header verbatim, the BCDN's ingress limits admit
+    the forwarded request, and the BCDN's reply-part cap admits ``n``
+    parts.  These are exactly the rejection points of the simulated
+    probe, so the two searches agree on every exploitable cascade.
+    """
+    if fcdn == bcdn:
+        raise ConfigurationError(
+            "a CDN is not cascaded with itself (paper Table V excludes it)"
+        )
+
+    def admits(n: int) -> bool:
+        return _static_probe(fcdn, bcdn, n, resource_size, resource_path, host)
+
+    if not admits(lower):
+        return 0
+    if admits(upper):
+        return upper
+    low, high = lower, upper  # admits(low), not admits(high)
+    while high - low > 1:
+        middle = (low + high) // 2
+        if admits(middle):
+            low = middle
+        else:
+            high = middle
+    return low
+
+
+def _static_probe(
+    fcdn: str,
+    bcdn: str,
+    overlap_count: int,
+    resource_size: int,
+    resource_path: str,
+    host: str,
+) -> bool:
+    """Would a request with ``overlap_count`` ranges survive end-to-end?"""
+    from repro.core.obr import exploited_fcdn_config, exploited_leading_spec
+
+    range_value = overlapping_open_ranges_value(
+        overlap_count, leading=exploited_leading_spec(fcdn)
+    )
+    request = HttpRequest(
+        "GET", resource_path, headers=[("Host", host), ("Range", range_value)]
+    )
+
+    front = create_profile(fcdn)
+    config = exploited_fcdn_config(fcdn)
+    ctx = VendorContext(
+        config=config if config is not None else type(front).default_config(),
+        resource_size_hint=resource_size,
+    )
+    try:
+        front.limits.check(request)
+    except RequestRejectedError:
+        return False
+    decision = front.forward_decision(
+        request, try_parse_range_header(range_value), ctx
+    )
+    if decision.forwarded_range != range_value:
+        return False
+
+    upstream = front.build_upstream_request(request, decision)
+    back = create_profile(bcdn)
+    try:
+        back.limits.check(upstream)
+    except RequestRejectedError:
+        return False
+    max_parts = type(back).reply_max_parts
+    if max_parts is not None and overlap_count > max_parts:
+        return False
+    return True
+
+
+def obr_bound(
+    fcdn: str,
+    bcdn: str,
+    resource_size: int = 1024,
+    overlap_count: Optional[int] = None,
+    content_type: str = "application/octet-stream",
+    overhead: Optional[OverheadModel] = None,
+) -> ObrBound:
+    """Closed-form worst-case OBR amplification for one cascade.
+
+    ``overlap_count=None`` runs the static max-n search first, mirroring
+    :meth:`~repro.core.obr.ObrAttack.run`.  The default overhead model is
+    the same capture-like TCP framing the simulated attack uses.
+    """
+    model = overhead if overhead is not None else TcpOverheadModel()
+    n = (
+        overlap_count
+        if overlap_count is not None
+        else static_max_n(fcdn, bcdn, resource_size=resource_size)
+    )
+    if n < 1:
+        raise ConfigurationError(
+            f"{fcdn} -> {bcdn} admits no overlapping ranges"
+        )
+
+    back_cls = type(create_profile(bcdn))
+    boundary = back_cls.multipart_boundary
+    part_overhead = _part_overhead_upper(boundary, content_type, resource_size)
+    closer = len(boundary) + 6  # "--" + boundary + "--" + CRLF
+    body_upper = n * (resource_size + part_overhead) + closer
+    header_upper = max(back_cls.client_header_block_target, 0) + CDN_HEADER_ALLOWANCE
+
+    victim_upper = (
+        model.framed_size(header_upper + body_upper) + model.connection_setup_bytes()
+    )
+    # The BCDN fetches the full representation once; the origin response
+    # carries at least the resource body.
+    attacker_lower = model.framed_size(resource_size) + model.connection_setup_bytes()
+
+    return ObrBound(
+        fcdn=fcdn,
+        bcdn=bcdn,
+        resource_size=resource_size,
+        max_n=n,
+        part_overhead_upper=part_overhead,
+        victim_bytes_upper=victim_upper,
+        attacker_bytes_lower=attacker_lower,
+    )
+
+
+def _part_overhead_upper(boundary: str, content_type: str, resource_size: int) -> int:
+    """Exact upper bound on one multipart part's framing bytes
+    (:meth:`~repro.http.multipart.MultipartByteranges.part_overhead`)."""
+    digits = len(str(resource_size))
+    delimiter = len(boundary) + 4  # "--" + boundary + CRLF
+    ct_line = len("Content-Type: ") + len(content_type) + 2
+    # "Content-Range: bytes <start>-<end>/<complete>" — every number has
+    # at most ``digits`` digits.
+    cr_line = len("Content-Range: bytes ") + 3 * digits + 2 + 2
+    blank = 2
+    trailing = 2  # CRLF after the part payload
+    return delimiter + ct_line + cr_line + blank + trailing
+
+
+__all__ = [
+    "CDN_HEADER_ALLOWANCE",
+    "ORIGIN_HEADER_ALLOWANCE",
+    "PAD_HEADER_SLACK",
+    "RESPONSE_WIRE_FLOOR",
+    "ObrBound",
+    "SbrBound",
+    "obr_bound",
+    "sbr_bound",
+    "static_max_n",
+]

@@ -1,0 +1,285 @@
+"""Static vulnerability classification from vendor configuration.
+
+Every answer here is derived by interrogating a vendor profile's *pure*
+decision surface — :meth:`~repro.cdn.vendors.base.VendorProfile.forward_decision`,
+the multi-range reply behavior, the stateful second-request policy, and
+the ``amplifies_via_fetch_flow`` flag — the way the behavior matrix
+(:mod:`repro.cdn.vendors.matrix`) does.  No deployment is wired, no
+connection is opened, no ledger records a byte: this is the "audit the
+config, not the wire" pass the paper performs analytically in §IV before
+measuring anything.
+
+* SBR (§IV-B): a vendor is vulnerable when any single-range shape makes
+  it *Delete* or *Expand* the Range header (Table I), when its second
+  sighting of an identical request does (KeyCDN), or when its fetch flow
+  pulls the full representation despite a lazy decision table
+  (StackPath).
+* OBR (§IV-C): a cascade is vulnerable when the front CDN forwards an
+  overlapping multi-range shape *unchanged* (Laziness, Table II) and the
+  back CDN *honors* overlapping ranges with a multipart reply
+  (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cdn.multirange import MultiRangeReplyBehavior
+from repro.cdn.policy import ForwardPolicy
+from repro.cdn.vendors import create_profile
+from repro.cdn.vendors.base import VendorConfig, VendorContext
+from repro.http.message import HttpRequest
+from repro.http.ranges import try_parse_range_header
+
+MB = 1 << 20
+
+#: Single-range probe shapes (Range value templates), covering Table I's
+#: three formats.  Size-dependent vendors (Azure, Huawei) flip policy
+#: with the resource size, so every shape is probed per size regime.
+SINGLE_RANGE_SHAPES: Tuple[str, ...] = ("bytes=0-0", "bytes=5-", "bytes=-1")
+
+#: Overlapping multi-range probe shapes, covering Table II and the
+#: exploited leading-spec variants of Table V (CDN77's suffix lead,
+#: CDNsun's ``1-`` lead).
+MULTI_RANGE_SHAPES: Tuple[str, ...] = (
+    "bytes=0-,0-,0-",
+    "bytes=-1024,0-,0-",
+    "bytes=1-,0-,0-",
+)
+
+#: Size regimes probed when the caller does not pin one: below and above
+#: every size threshold the profiles encode (Azure's 8 MB, Huawei's
+#: 10 MB).
+DEFAULT_PROBE_SIZES: Tuple[int, ...] = (1 * MB, 25 * MB)
+
+
+@dataclass(frozen=True)
+class ProbeDecision:
+    """One vendor's forwarding decision for one probed Range shape."""
+
+    range_value: str
+    resource_size: int
+    policy: ForwardPolicy
+    forwarded_range: Optional[str]
+
+    @property
+    def amplifying(self) -> bool:
+        """Deletion/Expansion — the SBR-exploitable policies."""
+        return self.policy in (ForwardPolicy.DELETION, ForwardPolicy.EXPANSION)
+
+    @property
+    def lazy_unchanged(self) -> bool:
+        """Forwarded verbatim — the OBR front-end requirement."""
+        return (
+            self.policy is ForwardPolicy.LAZINESS
+            and self.forwarded_range == self.range_value
+        )
+
+
+def probe_decision(
+    vendor: str,
+    range_value: str,
+    resource_size: int,
+    config: Optional[VendorConfig] = None,
+) -> ProbeDecision:
+    """Ask a fresh profile for its first-sighting forwarding decision."""
+    profile = create_profile(vendor)
+    ctx = VendorContext(
+        config=config if config is not None else type(profile).default_config(),
+        resource_size_hint=resource_size,
+    )
+    decision = profile.forward_decision(
+        _probe_request(range_value), try_parse_range_header(range_value), ctx
+    )
+    return ProbeDecision(
+        range_value=range_value,
+        resource_size=resource_size,
+        policy=decision.policy,
+        forwarded_range=decision.forwarded_range,
+    )
+
+
+def second_request_decision(
+    vendor: str,
+    range_value: str,
+    resource_size: int,
+    config: Optional[VendorConfig] = None,
+) -> ProbeDecision:
+    """The decision for the *second identical* request on one profile
+    instance (KeyCDN's second-sighting Deletion)."""
+    profile = create_profile(vendor)
+    ctx = VendorContext(
+        config=config if config is not None else type(profile).default_config(),
+        resource_size_hint=resource_size,
+    )
+    request = _probe_request(range_value)
+    spec = try_parse_range_header(range_value)
+    profile.forward_decision(request, spec, ctx)
+    decision = profile.forward_decision(request, spec, ctx)
+    return ProbeDecision(
+        range_value=range_value,
+        resource_size=resource_size,
+        policy=decision.policy,
+        forwarded_range=decision.forwarded_range,
+    )
+
+
+@dataclass(frozen=True)
+class SbrClassification:
+    """Whether (and why) one vendor is SBR-vulnerable."""
+
+    vendor: str
+    display_name: str
+    #: Probes whose first-sighting decision already amplifies.
+    amplifying_probes: Tuple[ProbeDecision, ...]
+    #: Probes that amplify only on the second identical request.
+    stateful_probes: Tuple[ProbeDecision, ...]
+    #: StackPath-style amplification hidden in the fetch flow.
+    fetch_flow_amplifies: bool
+
+    @property
+    def vulnerable(self) -> bool:
+        return bool(
+            self.amplifying_probes or self.stateful_probes or self.fetch_flow_amplifies
+        )
+
+    @property
+    def mechanism(self) -> str:
+        """The dominant exploitation mechanism, for the findings report."""
+        if any(p.policy is ForwardPolicy.EXPANSION for p in self.amplifying_probes):
+            return "expansion"
+        if self.amplifying_probes:
+            return "deletion"
+        if self.stateful_probes:
+            return "stateful-deletion"
+        if self.fetch_flow_amplifies:
+            return "fetch-flow"
+        return "none"
+
+
+def classify_sbr(
+    vendor: str,
+    resource_sizes: Tuple[int, ...] = DEFAULT_PROBE_SIZES,
+    config: Optional[VendorConfig] = None,
+) -> SbrClassification:
+    """Statically classify one vendor's SBR susceptibility (Table I)."""
+    profile_cls = type(create_profile(vendor))
+    amplifying = []
+    stateful = []
+    for size in resource_sizes:
+        for shape in SINGLE_RANGE_SHAPES:
+            first = probe_decision(vendor, shape, size, config=config)
+            if first.amplifying:
+                amplifying.append(first)
+                continue
+            second = second_request_decision(vendor, shape, size, config=config)
+            if second.amplifying:
+                stateful.append(second)
+    return SbrClassification(
+        vendor=vendor,
+        display_name=profile_cls.display_name,
+        amplifying_probes=tuple(amplifying),
+        stateful_probes=tuple(stateful),
+        fetch_flow_amplifies=profile_cls.amplifies_via_fetch_flow,
+    )
+
+
+def classify_obr_frontend(
+    vendor: str,
+    resource_size: int = 1024,
+    config: Optional[VendorConfig] = None,
+) -> Tuple[ProbeDecision, ...]:
+    """The overlapping multi-range shapes ``vendor`` forwards unchanged
+    (Table II membership evidence; empty when unusable as an FCDN)."""
+    return tuple(
+        probe
+        for shape in MULTI_RANGE_SHAPES
+        for probe in (probe_decision(vendor, shape, resource_size, config=config),)
+        if probe.lazy_unchanged
+    )
+
+
+def frontend_requires_bypass(vendor: str) -> bool:
+    """True when the vendor is lazy only under a cache-bypass
+    configuration (Cloudflare's Table II footnote)."""
+    if classify_obr_frontend(vendor):
+        return False
+    return bool(
+        classify_obr_frontend(vendor, config=VendorConfig(bypass_cache=True))
+    )
+
+
+@dataclass(frozen=True)
+class ObrBackendFacts:
+    """The back-end half of the OBR requirement (Table III)."""
+
+    vendor: str
+    reply_behavior: MultiRangeReplyBehavior
+    reply_max_parts: Optional[int]
+    multipart_boundary: str
+
+    @property
+    def honors_overlapping(self) -> bool:
+        return self.reply_behavior is MultiRangeReplyBehavior.HONOR
+
+
+def classify_obr_backend(vendor: str) -> ObrBackendFacts:
+    """Read the reply-behavior facts off the profile class."""
+    profile_cls = type(create_profile(vendor))
+    return ObrBackendFacts(
+        vendor=vendor,
+        reply_behavior=profile_cls.reply_behavior,
+        reply_max_parts=profile_cls.reply_max_parts,
+        multipart_boundary=profile_cls.multipart_boundary,
+    )
+
+
+@dataclass(frozen=True)
+class CascadeClassification:
+    """Whether one FCDN × BCDN cell is OBR-vulnerable (Tables II+III)."""
+
+    fcdn: str
+    bcdn: str
+    #: Multi-range shapes the FCDN forwards verbatim (possibly under
+    #: bypass configuration).
+    lazy_probes: Tuple[ProbeDecision, ...]
+    #: The FCDN is lazy only with cache bypass configured (Cloudflare).
+    requires_bypass: bool
+    backend: ObrBackendFacts
+
+    @property
+    def vulnerable(self) -> bool:
+        return bool(self.lazy_probes) and self.backend.honors_overlapping
+
+
+def classify_cascade(
+    fcdn: str,
+    bcdn: str,
+    resource_size: int = 1024,
+    fcdn_config: Optional[VendorConfig] = None,
+) -> CascadeClassification:
+    """Statically classify one cascade cell, with the Cloudflare bypass
+    fallback the paper's Table V setup uses."""
+    lazy = classify_obr_frontend(fcdn, resource_size, config=fcdn_config)
+    requires_bypass = False
+    if not lazy and fcdn_config is None and frontend_requires_bypass(fcdn):
+        lazy = classify_obr_frontend(
+            fcdn, resource_size, config=VendorConfig(bypass_cache=True)
+        )
+        requires_bypass = True
+    return CascadeClassification(
+        fcdn=fcdn,
+        bcdn=bcdn,
+        lazy_probes=lazy,
+        requires_bypass=requires_bypass,
+        backend=classify_obr_backend(bcdn),
+    )
+
+
+def _probe_request(range_value: str) -> HttpRequest:
+    return HttpRequest(
+        "GET",
+        "/probe.bin",
+        headers=[("Host", "victim.example"), ("Range", range_value)],
+    )

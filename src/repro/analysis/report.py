@@ -1,0 +1,307 @@
+"""Severity-ranked static findings over vendors, cascades, deployments.
+
+:func:`analyze_vendor_matrix` is the pre-simulation vulnerability
+report: it classifies every registered vendor (SBR) and every FCDN×BCDN
+cell (OBR) from pure configuration probes and attaches the closed-form
+worst-case bounds of :mod:`repro.analysis.bounds`.  No deployment is
+built and no ledger records a byte — the zero-traffic test pins this.
+
+:func:`analyze_deployment` applies the same passes to one concrete
+:class:`~repro.core.deployment.Deployment`: the chain's actual vendors,
+configs, overhead model, and origin resource sizes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.deployment import Deployment
+
+from repro.analysis.bounds import ObrBound, SbrBound, obr_bound, sbr_bound
+from repro.analysis.classify import (
+    CascadeClassification,
+    SbrClassification,
+    classify_cascade,
+    classify_sbr,
+)
+from repro.cdn.vendors import all_vendor_names
+from repro.netsim.overhead import OverheadModel
+
+MB = 1 << 20
+
+#: Severity buckets by worst-case amplification factor, most severe
+#: first (the report's ranking order).
+SEVERITY_ORDER: Tuple[str, ...] = ("critical", "high", "medium", "low", "info")
+
+
+def severity_for_factor(factor: float) -> str:
+    """Bucket a worst-case amplification factor."""
+    if factor >= 1000:
+        return "critical"
+    if factor >= 100:
+        return "high"
+    if factor >= 10:
+        return "medium"
+    if factor > 1:
+        return "low"
+    return "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One statically-derived vulnerability (or safety) statement."""
+
+    #: ``"sbr"``, ``"obr"``, or ``"safe"``.
+    kind: str
+    severity: str
+    #: ``"azure"`` for a vendor, ``"cdn77 -> akamai"`` for a cascade.
+    subject: str
+    #: Exploitation mechanism (``deletion``, ``expansion``,
+    #: ``stateful-deletion``, ``fetch-flow``, ``laziness+honor``, or
+    #: ``none``).
+    mechanism: str
+    #: Closed-form worst-case amplification factor (0 for safe cells).
+    factor_bound: float
+    #: One-line human-readable summary.
+    detail: str
+    #: JSON-friendly extras: bounds, exploited cases, max n, sizes.
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "subject": self.subject,
+            "mechanism": self.mechanism,
+            "factor_bound": round(self.factor_bound, 2),
+            "detail": self.detail,
+            "data": self.data,
+        }
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """All findings from one static-analysis run, severity-ranked."""
+
+    findings: Tuple[Finding, ...]
+    #: SBR resource size the bounds were computed for.
+    resource_size: int
+    #: OBR resource size the cascade bounds were computed for.
+    obr_resource_size: int
+
+    @property
+    def vulnerable(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.kind != "safe")
+
+    @property
+    def safe(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.kind == "safe")
+
+    def by_kind(self, kind: str) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.kind == kind)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {
+                "resource_size": self.resource_size,
+                "obr_resource_size": self.obr_resource_size,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=indent,
+            sort_keys=False,
+        )
+
+
+def _format_size(size: int) -> str:
+    if size >= MB and size % MB == 0:
+        return f"{size // MB}MB"
+    return f"{size}B"
+
+
+def _rank(findings: Sequence[Finding]) -> Tuple[Finding, ...]:
+    """Severity-ranked: most severe bucket first, larger bound first."""
+    return tuple(
+        sorted(
+            findings,
+            key=lambda f: (SEVERITY_ORDER.index(f.severity), -f.factor_bound, f.subject),
+        )
+    )
+
+
+def _sbr_finding(
+    classification: SbrClassification,
+    resource_size: int,
+    overhead: Optional[OverheadModel],
+) -> Finding:
+    vendor = classification.vendor
+    if not classification.vulnerable:
+        return Finding(
+            kind="safe",
+            severity="info",
+            subject=vendor,
+            mechanism="none",
+            factor_bound=0.0,
+            detail=f"{classification.display_name} forwards ranges lazily; no SBR vector",
+        )
+    bound: SbrBound = sbr_bound(vendor, resource_size, overhead=overhead)
+    return Finding(
+        kind="sbr",
+        severity=severity_for_factor(bound.factor),
+        subject=vendor,
+        mechanism=classification.mechanism,
+        factor_bound=bound.factor,
+        detail=(
+            f"{classification.display_name} amplifies via {classification.mechanism}: "
+            f"<= {bound.factor:.0f}x at {_format_size(resource_size)}"
+        ),
+        data={
+            "resource_size": resource_size,
+            "range_cases": list(bound.range_cases),
+            "origin_fetches": bound.origin_fetches,
+            "origin_bytes_upper": bound.origin_bytes_upper,
+            "client_bytes_lower": bound.client_bytes_lower,
+        },
+    )
+
+
+def _obr_finding(
+    classification: CascadeClassification,
+    resource_size: int,
+    overhead: Optional[OverheadModel],
+) -> Finding:
+    subject = f"{classification.fcdn} -> {classification.bcdn}"
+    mechanism = "laziness+honor" + (
+        " (bypass)" if classification.requires_bypass else ""
+    )
+    bound: ObrBound = obr_bound(
+        classification.fcdn,
+        classification.bcdn,
+        resource_size=resource_size,
+        overhead=overhead,
+    )
+    return Finding(
+        kind="obr",
+        severity=severity_for_factor(bound.factor),
+        subject=subject,
+        mechanism=mechanism,
+        factor_bound=bound.factor,
+        detail=(
+            f"{classification.fcdn} forwards {len(classification.lazy_probes)} "
+            f"overlapping shapes verbatim; {classification.bcdn} honors them "
+            f"(max n = {bound.max_n}, <= {bound.factor:.0f}x)"
+        ),
+        data={
+            "resource_size": resource_size,
+            "max_n": bound.max_n,
+            "part_overhead_upper": bound.part_overhead_upper,
+            "victim_bytes_upper": bound.victim_bytes_upper,
+            "attacker_bytes_lower": bound.attacker_bytes_lower,
+            "requires_bypass": classification.requires_bypass,
+        },
+    )
+
+
+def analyze_vendor_matrix(
+    resource_size: int = 10 * MB,
+    obr_resource_size: int = 1024,
+    vendors: Optional[Sequence[str]] = None,
+    sbr_overhead: Optional[OverheadModel] = None,
+    obr_overhead: Optional[OverheadModel] = None,
+) -> AnalysisReport:
+    """Statically audit every vendor and every FCDN×BCDN cell.
+
+    Purely configuration-driven: decision-table probes plus closed-form
+    bounds.  SBR bounds default to payload-only accounting and OBR
+    bounds to TCP-framed accounting, matching the simulated attacks'
+    defaults.
+    """
+    names = list(vendors) if vendors is not None else all_vendor_names()
+    findings: List[Finding] = []
+
+    for vendor in names:
+        findings.append(
+            _sbr_finding(classify_sbr(vendor), resource_size, sbr_overhead)
+        )
+
+    for fcdn in names:
+        for bcdn in names:
+            if fcdn == bcdn:
+                continue
+            cascade = classify_cascade(fcdn, bcdn, resource_size=obr_resource_size)
+            if not cascade.vulnerable:
+                continue
+            findings.append(_obr_finding(cascade, obr_resource_size, obr_overhead))
+
+    return AnalysisReport(
+        findings=_rank(findings),
+        resource_size=resource_size,
+        obr_resource_size=obr_resource_size,
+    )
+
+
+def analyze_deployment(
+    deployment: Deployment,
+    resource_sizes: Optional[Sequence[int]] = None,
+) -> AnalysisReport:
+    """Statically audit one wired deployment without sending traffic.
+
+    Reads the chain's vendors and per-node configs, the ledger's
+    overhead model, and the origin store's resource sizes; classifies
+    each node (SBR) and each adjacent pair (OBR) and bounds them with
+    the deployment's own overhead model.
+    """
+    overhead = deployment.ledger.overhead
+    store = deployment.origin.store
+    sizes = (
+        list(resource_sizes)
+        if resource_sizes is not None
+        else sorted({store.get(path).size for path in store.paths()})
+    ) or [10 * MB]
+
+    findings: List[Finding] = []
+    for node in deployment.nodes:
+        classification = classify_sbr(node.profile.name, config=node.config)
+        for size in sizes:
+            findings.append(_sbr_finding(classification, size, overhead))
+
+    for front, back in zip(deployment.nodes, deployment.nodes[1:]):
+        if front.profile.name == back.profile.name:
+            continue
+        cascade = classify_cascade(
+            front.profile.name,
+            back.profile.name,
+            resource_size=sizes[0],
+            fcdn_config=front.config,
+        )
+        if not cascade.vulnerable:
+            continue
+        findings.append(_obr_finding(cascade, sizes[0], overhead))
+
+    return AnalysisReport(
+        findings=_rank(findings),
+        resource_size=max(sizes),
+        obr_resource_size=sizes[0],
+    )
+
+
+def render_findings_table(report: AnalysisReport) -> str:
+    """The findings as the repo's standard ASCII table."""
+    from repro.reporting.render import render_table
+
+    rows = [
+        [
+            finding.severity,
+            finding.kind,
+            finding.subject,
+            finding.mechanism,
+            f"{finding.factor_bound:.0f}x" if finding.factor_bound else "-",
+            finding.detail,
+        ]
+        for finding in report.findings
+    ]
+    return render_table(
+        ["Severity", "Kind", "Subject", "Mechanism", "Bound", "Detail"], rows
+    )

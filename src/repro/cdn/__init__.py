@@ -18,6 +18,8 @@ measured on 13 commercial CDNs (Tables I–III):
 * :mod:`repro.cdn.vendors` — the 13 vendor profiles and their registry.
 """
 
+from __future__ import annotations
+
 from repro.cdn.cache import CacheStats, CdnCache
 from repro.cdn.limits import HeaderLimits
 from repro.cdn.multirange import MultiRangeReplyBehavior, apply_reply_behavior

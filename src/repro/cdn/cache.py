@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.http.message import HttpRequest, HttpResponse
+from repro.http.status import StatusCode
 from repro.netsim.clock import SimClock
 
 
@@ -135,7 +136,7 @@ class CdnCache:
     def put(self, request: HttpRequest, response: HttpResponse) -> bool:
         """Cache ``response`` if it is a cacheable full 200; returns
         whether it was stored."""
-        if not self.enabled or request.method != "GET" or response.status != 200:
+        if not self.enabled or request.method != "GET" or response.status != StatusCode.OK:
             return False
         directives = parse_cache_control(response.headers.get("Cache-Control"))
         if "no-store" in directives or "private" in directives:

@@ -19,7 +19,7 @@ another CDN) and an upstream handler (the origin, or another CDN) and:
 from __future__ import annotations
 
 import logging
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from repro.cdn.cache import CdnCache
 from repro.cdn.multirange import apply_reply_behavior
@@ -27,6 +27,7 @@ from repro.cdn.vendors.base import VendorConfig, VendorContext, VendorProfile
 from repro.cdn.window import ContentWindow
 from repro.errors import RangeNotSatisfiableError, RequestRejectedError
 from repro.handler import HttpHandler
+from repro.http.body import Body
 from repro.http.headers import Headers
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.multipart import MultipartByteranges, MultipartPart
@@ -40,7 +41,7 @@ from repro.http.ranges import (
 from repro.http.status import StatusCode
 from repro.netsim.tap import CDN_ORIGIN, TrafficLedger
 from repro.obs.metrics import current_metrics
-from repro.obs.tracer import current_tracer
+from repro.obs.tracer import NullSpan, Span, current_tracer
 
 _FIXED_DATE = "Fri, 05 Jun 2020 08:00:00 GMT"
 
@@ -84,7 +85,7 @@ class CdnNode(HttpHandler):
                 )
             return self._handle_traced(request, hop)
 
-    def _handle_traced(self, request: HttpRequest, hop) -> HttpResponse:
+    def _handle_traced(self, request: HttpRequest, hop: Union[Span, NullSpan]) -> HttpResponse:
         tracer = current_tracer()
         registry = current_metrics()
         try:
@@ -307,7 +308,7 @@ class CdnNode(HttpHandler):
         self,
         status: StatusCode,
         content_type: str,
-        body,
+        body: Body,
         source_headers: Headers,
     ) -> HttpResponse:
         headers = Headers([("Date", _FIXED_DATE)])

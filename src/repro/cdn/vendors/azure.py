@@ -35,6 +35,7 @@ from repro.cdn.vendors.base import (
 from repro.cdn.window import ContentWindow
 from repro.http.message import HttpRequest
 from repro.http.ranges import ByteRangeSpec, RangeSpecifier, parse_content_range
+from repro.http.status import StatusCode
 
 EIGHT_MB = 8 * 1024 * 1024
 #: Last byte position of Azure's expansion window, bytes=8388608-16777215.
@@ -99,7 +100,7 @@ class AzureProfile(VendorProfile):
             payload_cap=EIGHT_MB + self.abort_slop,
             note="forward:deletion (cut past 8MB)",
         )
-        if response.status != 200:
+        if response.status != StatusCode.OK:
             return FetchResult(
                 passthrough=response,
                 policy=ForwardPolicy.DELETION,
@@ -127,7 +128,7 @@ class AzureProfile(VendorProfile):
         expansion_value = f"bytes={EIGHT_MB}-{WINDOW_LAST}"
         upstream = self.build_upstream_request(request, ForwardDecision.expand(expansion_value))
         response = exchange(upstream, note=f"forward:expansion ({expansion_value})")
-        if response.status != 206:
+        if response.status != StatusCode.PARTIAL_CONTENT:
             return None
         content_range = response.headers.get("Content-Range")
         if content_range is None:

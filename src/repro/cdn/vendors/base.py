@@ -35,6 +35,7 @@ from repro.http.headers import Headers
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.multipart import DEFAULT_BOUNDARY
 from repro.http.ranges import ByteRangeSpec, RangeSpecifier, SuffixByteRangeSpec, parse_content_range
+from repro.http.status import StatusCode
 
 
 class SpecShape(Enum):
@@ -236,7 +237,7 @@ class VendorProfile:
                 policy=decision.policy,
                 upstream_status=response.status,
             )
-        if response.status == 200:
+        if response.status == StatusCode.OK:
             # The node holds the full representation — whether it asked
             # for it (Deletion) or the origin ignored the Range header.
             # RFC 2616 directs a range-aware proxy that receives a full
@@ -256,7 +257,7 @@ class VendorProfile:
                 cacheable_full=True,
                 source_headers=response.headers,
             )
-        if response.status == 206:
+        if response.status == StatusCode.PARTIAL_CONTENT:
             content_type = response.content_type or ""
             if content_type.startswith("multipart/byteranges"):
                 # A multipart we did not assemble: relay it verbatim.

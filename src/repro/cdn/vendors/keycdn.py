@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+from repro.cdn.limits import HeaderLimits
 from repro.cdn.policy import ForwardDecision
 from repro.cdn.vendors.base import SpecShape, VendorContext, VendorProfile, classify_spec
 from repro.http.message import HttpRequest
@@ -33,7 +34,7 @@ class KeycdnProfile(VendorProfile):
     client_header_block_target = 722
     pad_header_name = "X-Edge-Location"
 
-    def __init__(self, limits=None) -> None:
+    def __init__(self, limits: Optional[HeaderLimits] = None) -> None:
         super().__init__(limits)
         self._seen: Set[Tuple[str, str, str]] = set()
 

@@ -32,6 +32,7 @@ from repro.cdn.vendors.base import (
 from repro.cdn.window import ContentWindow
 from repro.http.message import HttpRequest
 from repro.http.ranges import RangeSpecifier
+from repro.http.status import StatusCode
 
 
 class StackpathProfile(VendorProfile):
@@ -64,7 +65,7 @@ class StackpathProfile(VendorProfile):
             request, ForwardDecision.lazy(request.range_header)
         )
         first = exchange(lazy_request, note="forward:laziness")
-        if first.status == 200:
+        if first.status == StatusCode.OK:
             # Origin ignored the Range header: serve from the full body
             # (the OBR back-end path).
             return FetchResult(
@@ -74,7 +75,7 @@ class StackpathProfile(VendorProfile):
                 cacheable_full=True,
                 source_headers=first.headers,
             )
-        if first.status != 206:
+        if first.status != StatusCode.PARTIAL_CONTENT:
             return FetchResult(
                 passthrough=first,
                 policy=ForwardPolicy.LAZINESS,
@@ -91,7 +92,7 @@ class StackpathProfile(VendorProfile):
         # and cache the whole representation.
         refetch = self.build_upstream_request(request, ForwardDecision.delete())
         second = exchange(refetch, note="forward:deletion (refetch after 206)")
-        if second.status != 200:
+        if second.status != StatusCode.OK:
             return FetchResult(
                 passthrough=first,
                 policy=ForwardPolicy.LAZINESS,

@@ -74,6 +74,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument("path", help="path to the scenario JSON")
 
+    analyze = commands.add_parser(
+        "analyze",
+        help="statically audit every vendor and cascade (no traffic simulated)",
+    )
+    analyze.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="output format (default: table)",
+    )
+    analyze.add_argument(
+        "--size-mb", type=int, default=10,
+        help="SBR resource size in MB the bounds assume (default: 10)",
+    )
+    analyze.add_argument(
+        "--obr-size", type=int, default=1024,
+        help="OBR resource size in bytes the bounds assume (default: 1024)",
+    )
+
+    lint = commands.add_parser(
+        "lint",
+        help="check source files against the repo's wire-accounting "
+             "and typing invariants",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the installed "
+             "repro package)",
+    )
+
     commands.add_parser(
         "matrix", help="print the vendor x Range-shape policy matrix"
     )
@@ -399,6 +427,39 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_vendor_matrix, render_findings_table
+
+    report = analyze_vendor_matrix(
+        resource_size=args.size_mb * MB,
+        obr_resource_size=args.obr_size,
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(render_findings_table(report))
+        print(
+            f"\n{len(report.by_kind('sbr'))} SBR-vulnerable vendor(s), "
+            f"{len(report.by_kind('obr'))} OBR-vulnerable cascade(s), "
+            f"{len(report.safe)} safe — bounds at "
+            f"{args.size_mb}MB (SBR) / {args.obr_size}B (OBR), "
+            f"zero traffic simulated"
+        )
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import lint_paths, lint_repo
+
+    findings = lint_paths(args.paths) if args.paths else lint_repo()
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     import json
 
@@ -427,6 +488,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_economics(args)
         if args.command == "scenario":
             return _cmd_scenario(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "matrix":
             return _cmd_matrix()
         if args.command == "report":

@@ -7,6 +7,8 @@ the Range mechanism worth having can be exercised (and regression-tested)
 alongside the attacks.
 """
 
+from __future__ import annotations
+
 from repro.clienttools.downloader import DownloadReport, ResumingDownload, SegmentedDownloader
 
 __all__ = ["DownloadReport", "ResumingDownload", "SegmentedDownloader"]

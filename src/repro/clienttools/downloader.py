@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 from repro.core.deployment import Client, Deployment
 from repro.errors import ReproError
 from repro.http.ranges import parse_content_range
+from repro.http.status import StatusCode
 
 
 class DownloadError(ReproError):
@@ -49,7 +50,7 @@ class DownloadReport:
 def _probe_length(client: Client, path: str) -> int:
     """Learn the resource length from a 1-byte range probe."""
     result = client.get(path, range_value="bytes=0-0")
-    if result.response.status != 206:
+    if result.response.status != StatusCode.PARTIAL_CONTENT:
         raise DownloadError(
             f"probe expected 206, got {result.response.status} for {path!r}"
         )
@@ -97,7 +98,7 @@ class SegmentedDownloader:
             result = client.get(path, range_value=f"bytes={start}-{end}")
             requests_sent += 1
             bytes_received += result.received_bytes
-            if result.response.status != 206:
+            if result.response.status != StatusCode.PARTIAL_CONTENT:
                 raise DownloadError(
                     f"segment {start}-{end}: expected 206, got "
                     f"{result.response.status}"
@@ -169,7 +170,7 @@ class ResumingDownload:
             )
             requests_sent += 1
             bytes_received += result.received_bytes
-            if result.response.status != 206:
+            if result.response.status != StatusCode.PARTIAL_CONTENT:
                 raise DownloadError(
                     f"resume at {start}: expected 206, got {result.response.status}"
                 )

@@ -16,6 +16,8 @@ execution, and measurement.
   SBR floods against a bandwidth-limited origin (Fig 7).
 """
 
+from __future__ import annotations
+
 from repro.core.amplification import AmplificationReport
 from repro.core.cachebusting import CacheBuster
 from repro.core.deployment import CdnSpec, Client, Deployment, RecordingHandler

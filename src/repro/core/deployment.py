@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError, ResourceNotFoundError
 from repro.handler import HttpHandler
 from repro.http.headers import Headers
 from repro.http.message import HttpRequest, HttpResponse
-from repro.netsim.connection import ExchangeRecord
+from repro.netsim.connection import Connection, ExchangeRecord
 from repro.netsim.overhead import OverheadModel
 from repro.netsim.tap import BCDN_ORIGIN, CDN_ORIGIN, CLIENT_CDN, FCDN_BCDN, TrafficLedger
 from repro.obs.tracer import current_tracer
@@ -216,9 +216,9 @@ class Client:
         #: how a keep-alive HTTP/1.1 client or a multiplexing HTTP/2
         #: client behaves (per-connection setup cost is paid once).
         self.reuse_connection = reuse_connection
-        self._connection = None
+        self._connection: Optional[Connection] = None
 
-    def _client_connection(self):
+    def _client_connection(self) -> Connection:
         if not self.reuse_connection:
             return self.deployment.ledger.open_connection(
                 self.deployment.client_segment, client_label="client",

@@ -29,6 +29,7 @@ from repro.core.cachebusting import CacheBuster
 from repro.core.deployment import CdnSpec, Deployment
 from repro.http.grammar import RangeCase, RangeCorpusGenerator, RangeFormat
 from repro.http.ranges import try_parse_range_header
+from repro.http.status import StatusCode
 from repro.origin.server import OriginServer
 
 #: Classification labels for observed forwarding behavior.
@@ -249,11 +250,11 @@ class FeasibilityProbe:
         """Send an overlapping multi-range request at a range-disabled
         origin and classify the CDN-built response."""
         status, size = self._reply_probe(overlap_count)
-        honors = status == 206 and size >= overlap_count * self.file_size
+        honors = status == StatusCode.PARTIAL_CONTENT and size >= overlap_count * self.file_size
         part_limit: Optional[int] = None
         if honors:
             over_status, _ = self._reply_probe(65)
-            if over_status != 206:
+            if over_status != StatusCode.PARTIAL_CONTENT:
                 part_limit = 64
         return ReplyObservation(
             vendor=self.vendor,

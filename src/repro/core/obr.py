@@ -21,7 +21,7 @@ bcdn–origin responses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.amplification import AmplificationReport
 from repro.core.deployment import CdnSpec, Deployment
@@ -29,10 +29,26 @@ from repro.cdn.vendors import OBR_BACKENDS, OBR_FRONTENDS
 from repro.cdn.vendors.base import VendorConfig
 from repro.errors import ConfigurationError
 from repro.http.grammar import overlapping_open_ranges_value
+from repro.http.status import StatusCode
 from repro.netsim.overhead import OverheadModel, TcpOverheadModel
 from repro.netsim.tap import BCDN_ORIGIN, CLIENT_CDN, FCDN_BCDN
 from repro.obs.tracer import current_tracer
 from repro.origin.server import OriginServer
+
+if TYPE_CHECKING:
+    from repro.runner.grid import ExperimentGrid
+
+
+def exploited_fcdn_config(fcdn: str) -> Optional[VendorConfig]:
+    """The front-CDN configuration the Table V setup uses.
+
+    Cloudflare forwards multi-range requests unchanged only when the
+    target path is configured *Bypass* (Table II); every other front end
+    runs its default configuration.
+    """
+    if fcdn == "cloudflare":
+        return VendorConfig(bypass_cache=True)
+    return None
 
 
 def exploited_leading_spec(fcdn: str) -> Optional[str]:
@@ -111,11 +127,7 @@ class ObrAttack:
         return Deployment.cascade(fcdn_spec, bcdn_spec, origin, overhead=self.overhead)
 
     def _fcdn_config(self) -> Optional[VendorConfig]:
-        if self.fcdn == "cloudflare":
-            # Cloudflare forwards multi-range requests unchanged only
-            # when the target path is configured *Bypass* (Table II).
-            return VendorConfig(bypass_cache=True)
-        return None
+        return exploited_fcdn_config(self.fcdn)
 
     def range_value(self, overlap_count: int) -> str:
         return overlapping_open_ranges_value(
@@ -143,14 +155,14 @@ class ObrAttack:
         (or the paper's authors) would probe the boundary.  Returns 0
         when even ``lower`` is rejected.
         """
-        if self.probe(lower) != 206:
+        if self.probe(lower) != StatusCode.PARTIAL_CONTENT:
             return 0
-        if self.probe(upper) == 206:
+        if self.probe(upper) == StatusCode.PARTIAL_CONTENT:
             return upper
         low, high = lower, upper  # probe(low) ok, probe(high) rejected
         while high - low > 1:
             middle = (low + high) // 2
-            if self.probe(middle) == 206:
+            if self.probe(middle) == StatusCode.PARTIAL_CONTENT:
                 low = middle
             else:
                 high = middle
@@ -204,7 +216,7 @@ class ObrAttack:
         )
 
 
-def vulnerable_combinations() -> list:
+def vulnerable_combinations() -> List[Tuple[str, str]]:
     """The 11 FCDN × BCDN combinations of Table V (self-cascading
     excluded)."""
     return [
@@ -216,11 +228,11 @@ def vulnerable_combinations() -> list:
 
 
 def obr_grid(
-    combinations: Optional[list] = None,
+    combinations: Optional[List[Tuple[str, str]]] = None,
     resource_size: int = 1024,
     overlap_count: int = 0,
     name: str = "table5-obr",
-):
+) -> "ExperimentGrid":
     """Table V's cascade sweep as an :class:`~repro.runner.grid.ExperimentGrid`.
 
     ``overlap_count=0`` keeps the per-cell max-n search (the Table V

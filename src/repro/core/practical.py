@@ -19,9 +19,12 @@ We reproduce it in two steps:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.core.sbr import SbrAttack
+
+if TYPE_CHECKING:
+    from repro.runner.grid import ExperimentGrid
 from repro.netsim.bandwidth import FluidSimulator, Link
 
 MB = 1 << 20
@@ -173,7 +176,7 @@ def flood_grid(
     resource_size: int = 10 * MB,
     origin_uplink_mbps: float = 1000.0,
     per_request: Optional[Tuple[int, int]] = None,
-):
+) -> "ExperimentGrid":
     """Fig 7's sweep as an :class:`~repro.runner.grid.ExperimentGrid`.
 
     ``per_request=None`` measures the per-request SBR traffic once here

@@ -15,7 +15,7 @@ size (Azure, Huawei) and KeyCDN's send-it-twice pattern.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.amplification import AmplificationReport
 from repro.core.cachebusting import CacheBuster
@@ -25,6 +25,9 @@ from repro.netsim.overhead import OverheadModel
 from repro.netsim.tap import CDN_ORIGIN, CLIENT_CDN
 from repro.obs.tracer import current_tracer
 from repro.origin.server import OriginServer
+
+if TYPE_CHECKING:
+    from repro.runner.grid import ExperimentGrid
 
 MB = 1 << 20
 
@@ -178,7 +181,7 @@ def sbr_grid(
     vendors: Optional[List[str]] = None,
     sizes: Tuple[int, ...] = (1 * MB, 10 * MB, 25 * MB),
     name: str = "sbr",
-):
+) -> "ExperimentGrid":
     """The vendor x size sweep as an :class:`~repro.runner.grid.ExperimentGrid`.
 
     One grid serves both Table IV and Fig 6: build it with the union of

@@ -10,6 +10,8 @@
   local DoS defense insufficient.
 """
 
+from __future__ import annotations
+
 from repro.defense.detection import DetectionVerdict, RangeAmpDetector
 from repro.defense.mitigations import (
     MitigatedProfile,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.http.message import HttpRequest
 from repro.http.ranges import ranges_overlap, try_parse_range_header
@@ -36,7 +36,7 @@ class DetectionVerdict:
 
     client: str
     suspicious: bool
-    reasons: tuple
+    reasons: Tuple[str, ...]
     tiny_range_requests: int
     overlapping_multirange_requests: int
     distinct_query_strings: int

@@ -21,12 +21,21 @@ policy, so before/after comparisons isolate the mitigation's effect
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cdn.limits import HeaderLimits
 from repro.cdn.multirange import MultiRangeReplyBehavior
 from repro.cdn.policy import ForwardDecision, ForwardPolicy, bounded_expansion
-from repro.cdn.vendors.base import SpecShape, VendorContext, VendorProfile, classify_spec
+from repro.cdn.vendors.base import (
+    ExchangeFn,
+    FetchResult,
+    SpecShape,
+    VendorConfig,
+    VendorContext,
+    VendorProfile,
+    classify_spec,
+)
+from repro.http.body import Body
 from repro.http.message import HttpRequest
 from repro.http.ranges import (
     ByteRangeSpec,
@@ -34,6 +43,7 @@ from repro.http.ranges import (
     ranges_overlap,
     try_parse_range_header,
 )
+from repro.http.status import StatusCode
 
 #: RFC 7233 §6.1 heuristics: "more than two overlapping ranges or many
 #: small ranges".
@@ -124,7 +134,7 @@ class MitigatedProfile(VendorProfile):
         self.server_header = inner.server_header
 
     @classmethod
-    def default_config(cls):  # pragma: no cover - config comes from inner
+    def default_config(cls) -> VendorConfig:  # pragma: no cover - config comes from inner
         return VendorProfile.default_config()
 
     def forward_decision(
@@ -217,11 +227,17 @@ class SlicingProfile(VendorProfile):
         self.pad_header_name = inner.pad_header_name
         self.server_header = inner.server_header
         #: Slice cache: (host, target, slice index) -> payload body.
-        self._slices: dict = {}
+        self._slices: Dict[Tuple[str, str, int], Body] = {}
         #: Learned complete lengths: (host, target) -> int.
-        self._lengths: dict = {}
+        self._lengths: Dict[Tuple[str, str], int] = {}
 
-    def fetch(self, request, spec, ctx, exchange):
+    def fetch(
+        self,
+        request: HttpRequest,
+        spec: Optional[RangeSpecifier],
+        ctx: VendorContext,
+        exchange: ExchangeFn,
+    ) -> FetchResult:
         from repro.cdn.vendors.base import FetchResult, SpecShape, classify_spec
         from repro.cdn.window import ContentWindow
         from repro.http.body import CompositeBody
@@ -252,7 +268,7 @@ class SlicingProfile(VendorProfile):
                 request, ForwardDecision.expand(f"bytes={slice_first}-{slice_last}")
             )
             response = exchange(upstream, note=f"slice:{index}")
-            if response.status == 200:
+            if response.status == StatusCode.OK:
                 # Origin without range support: take the whole body once.
                 complete = len(response.body)
                 self._lengths[resource_key] = complete
@@ -263,7 +279,7 @@ class SlicingProfile(VendorProfile):
                     cacheable_full=True,
                     source_headers=response.headers,
                 )
-            if response.status != 206:
+            if response.status != StatusCode.PARTIAL_CONTENT:
                 return FetchResult(
                     passthrough=response,
                     policy=ForwardPolicy.EXPANSION,
@@ -302,10 +318,10 @@ class SlicingProfile(VendorProfile):
             source_headers=source_headers,
         )
 
-    def forward_headers(self):
+    def forward_headers(self) -> List[Tuple[str, str]]:
         return self.inner.forward_headers()
 
-    def response_headers(self):
+    def response_headers(self) -> List[Tuple[str, str]]:
         return self.inner.response_headers()
 
     def cached_slice_count(self) -> int:

@@ -16,6 +16,8 @@ exercise, at wire-byte accuracy:
   headers from the RFC ABNF (the paper's first-experiment dataset).
 """
 
+from __future__ import annotations
+
 from repro.http.body import Body, BytesBody, SyntheticBody, make_body
 from repro.http.headers import Headers
 from repro.http.message import HttpRequest, HttpResponse

@@ -23,7 +23,7 @@ accounting throughout the library relies on it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Union
+from typing import Dict, Iterable, List, Tuple, Union
 
 DEFAULT_PATTERN = bytes(range(256))
 
@@ -116,7 +116,7 @@ class SyntheticBody(Body):
         # Instances are immutable, so identical slices can be shared.
         # An n-part overlapping multipart (the OBR shape) slices the
         # same window n times; without the cache that is n allocations.
-        self._slice_cache: dict = {}
+        self._slice_cache: Dict[Tuple[int, int], "SyntheticBody"] = {}
 
     @property
     def pattern(self) -> bytes:

@@ -13,7 +13,7 @@ from typing import Iterable, Optional, Tuple, Union
 from repro.errors import MessageError
 from repro.http.body import Body, make_body
 from repro.http.headers import Headers
-from repro.http.status import reason_phrase
+from repro.http.status import StatusCode, reason_phrase
 
 _BodyLike = Union[Body, bytes, str, int, None]
 
@@ -148,7 +148,7 @@ class HttpResponse:
 
     @property
     def is_partial(self) -> bool:
-        return self.status == 206
+        return self.status == StatusCode.PARTIAL_CONTENT
 
     @property
     def content_type(self) -> Optional[str]:

@@ -16,6 +16,8 @@ provides the equivalent observation points for the simulator:
   used for the paper's fourth experiment (Fig 7).
 """
 
+from __future__ import annotations
+
 from repro.netsim.bandwidth import FluidSimulator, Link, LinkSample, Transfer
 from repro.netsim.clock import SimClock
 from repro.netsim.connection import Connection, ExchangeRecord

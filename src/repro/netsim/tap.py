@@ -63,6 +63,12 @@ class TrafficLedger:
         return connection
 
     @property
+    def overhead(self) -> OverheadModel:
+        """The framing model every connection on this ledger uses (read
+        by the static analyzer to bound traffic the same way)."""
+        return self._overhead
+
+    @property
     def connections(self) -> List[Connection]:
         return list(self._connections)
 

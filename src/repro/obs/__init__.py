@@ -12,6 +12,8 @@ installed the instrumentation points in ``netsim``/``cdn``/``origin``/
 ``core`` cost one ``ContextVar`` read each and allocate nothing.
 """
 
+from __future__ import annotations
+
 from repro.obs.metrics import (
     AMPLIFICATION_FACTOR,
     CACHE_LOOKUPS,

@@ -8,6 +8,8 @@ multi-range requests, and an Apache-shaped response header block (whose
 byte weight feeds the amplification denominators).
 """
 
+from __future__ import annotations
+
 from repro.origin.resource import Resource, ResourceStore
 from repro.origin.server import OriginServer, OriginStats
 

@@ -8,6 +8,8 @@
   for side-by-side comparison and tolerance checks.
 """
 
+from __future__ import annotations
+
 from repro.reporting.figures import Fig6Series, fig6_series, fig7_series
 from repro.reporting.render import render_table
 from repro.reporting.tables import (

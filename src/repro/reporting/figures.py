@@ -10,11 +10,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.cdn.vendors import all_vendor_names
 from repro.core.practical import BandwidthAttackSimulation, BandwidthRunResult
-from repro.core.sbr import SbrAttack
+from repro.core.sbr import SbrAttack, SbrResult
 
 MB = 1 << 20
 
@@ -66,7 +66,7 @@ def fig6_series(
 
 
 def fig6_series_from_results(
-    results,
+    results: Mapping[Tuple[str, int], SbrResult],
     vendors: Sequence[str],
     sizes: Sequence[int],
 ) -> List[Fig6Series]:

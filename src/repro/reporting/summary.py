@@ -13,7 +13,7 @@ record in one command::
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, Iterable, List, Sequence, Union
 
 from repro.core.feasibility import survey
 from repro.reporting.figures import fig7_series
@@ -30,7 +30,9 @@ from repro.reporting.tables import (
 MB = 1 << 20
 
 
-def _write(output_dir: Path, stem: str, headers: Sequence[str], rows) -> List[Path]:
+def _write(
+    output_dir: Path, stem: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> List[Path]:
     rows = list(rows)
     text_path = output_dir / f"{stem}.txt"
     markdown_path = output_dir / f"{stem}.md"

@@ -22,6 +22,8 @@ failures are captured (type + message) instead of killing the sweep.
   and Figs 6–7 through a single combined grid (the CLI's ``run-all``).
 """
 
+from __future__ import annotations
+
 from repro.runner.executor import (
     CellFailure,
     CellObservation,

@@ -1,0 +1,71 @@
+"""CLI coverage for ``repro analyze`` and ``repro lint``."""
+
+import json
+
+from repro.cli import main
+
+
+class TestAnalyzeTable:
+    def test_renders_ranked_table(self, capsys):
+        assert main(["analyze"]) == 0
+        output = capsys.readouterr().out
+        assert "Severity" in output and "Mechanism" in output
+        assert "zero traffic simulated" in output
+        # The paper's headline cells are all present.
+        assert "cloudflare -> akamai" in output
+        assert "cdn77 -> azure" in output
+        assert "laziness+honor" in output
+
+    def test_summary_counts_match_the_paper(self, capsys):
+        assert main(["analyze"]) == 0
+        output = capsys.readouterr().out
+        assert "13 SBR-vulnerable vendor(s)" in output
+        assert "11 OBR-vulnerable cascade(s)" in output
+
+    def test_severity_orders_the_rows(self, capsys):
+        assert main(["analyze"]) == 0
+        output = capsys.readouterr().out
+        assert output.index("critical") < output.index("medium")
+
+
+class TestAnalyzeJson:
+    def test_emits_valid_severity_ranked_json(self, capsys):
+        assert main(["analyze", "--format", "json"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["resource_size"] == 10 * (1 << 20)
+        kinds = {finding["kind"] for finding in decoded["findings"]}
+        assert kinds == {"sbr", "obr"}
+        obr = [f for f in decoded["findings"] if f["kind"] == "obr"]
+        assert len(obr) == 11
+        for finding in obr:
+            assert finding["data"]["max_n"] >= 2
+
+    def test_size_flags_change_the_bounds(self, capsys):
+        assert main(["analyze", "--format", "json", "--size-mb", "1"]) == 0
+        small = json.loads(capsys.readouterr().out)
+        assert main(["analyze", "--format", "json", "--size-mb", "25"]) == 0
+        large = json.loads(capsys.readouterr().out)
+
+        def akamai_bound(report):
+            return next(
+                f["factor_bound"]
+                for f in report["findings"]
+                if f["kind"] == "sbr" and f["subject"] == "akamai"
+            )
+
+        assert akamai_bound(large) > akamai_bound(small)
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_violations_exit_one_and_print_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a):\n    return a\n", encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "future-annotations" in captured.out
+        assert "untyped-def" in captured.out
+        assert "finding(s)" in captured.err

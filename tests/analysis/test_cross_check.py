@@ -1,0 +1,78 @@
+"""Soundness cross-check: simulated factors never exceed static bounds.
+
+This is the load-bearing contract of :mod:`repro.analysis.bounds` — the
+analyzer's numbers are *upper* bounds on anything the simulation stack
+can report.  Checked exhaustively over the quick run-all grid (every
+vendor at the Fig 6 quick sizes, the quick Table V cascades) and
+property-tested over random sizes and overlap counts.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import obr_bound, sbr_bound, static_max_n
+from repro.cdn.vendors import all_vendor_names
+from repro.core.obr import ObrAttack
+from repro.core.sbr import SbrAttack
+from repro.runner.runall import QUICK_TABLE5_COMBOS
+
+MB = 1 << 20
+KB = 1 << 10
+
+#: The quick run-all grid's SBR axis (Fig 6 quick sizes, which include
+#: the Table IV quick size).
+QUICK_SIZES = (1 * MB, 2 * MB, 3 * MB)
+
+
+class TestSbrGridNeverExceedsBound:
+    @pytest.mark.parametrize("vendor", all_vendor_names())
+    def test_quick_grid_cells(self, vendor):
+        for size in QUICK_SIZES:
+            simulated = SbrAttack(vendor, resource_size=size).run()
+            bound = sbr_bound(vendor, size)
+            assert simulated.amplification <= bound.factor, (
+                f"{vendor} at {size}: simulated {simulated.amplification:.1f} "
+                f"exceeds static bound {bound.factor:.1f}"
+            )
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        vendor=st.sampled_from(all_vendor_names()),
+        size=st.integers(min_value=64 * KB, max_value=4 * MB),
+    )
+    def test_random_sizes(self, vendor, size):
+        simulated = SbrAttack(vendor, resource_size=size).run()
+        bound = sbr_bound(vendor, size)
+        assert simulated.amplification <= bound.factor
+
+
+class TestObrGridNeverExceedsBound:
+    @pytest.mark.parametrize("fcdn,bcdn", QUICK_TABLE5_COMBOS)
+    def test_quick_grid_cells(self, fcdn, bcdn):
+        attack = ObrAttack(fcdn, bcdn)
+        simulated_n = attack.find_max_n()
+        # The static search replays the same rejection points, so the
+        # two agree exactly — not just within a factor.
+        assert simulated_n == static_max_n(fcdn, bcdn)
+        result = attack.run(overlap_count=simulated_n)
+        bound = obr_bound(fcdn, bcdn)
+        assert result.amplification <= bound.factor, (
+            f"{fcdn}->{bcdn}: simulated {result.amplification:.1f} "
+            f"exceeds static bound {bound.factor:.1f}"
+        )
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(overlap_count=st.integers(min_value=2, max_value=64))
+    def test_random_overlap_counts(self, overlap_count):
+        result = ObrAttack("cloudflare", "akamai").run(overlap_count=overlap_count)
+        bound = obr_bound("cloudflare", "akamai", overlap_count=overlap_count)
+        assert result.amplification <= bound.factor

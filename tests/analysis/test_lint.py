@@ -1,0 +1,218 @@
+"""The invariant linter: one unit per rule, plus the repo-wide guard."""
+
+import textwrap
+
+from repro.analysis.lint import lint_repo, lint_source
+
+PRELUDE = "from __future__ import annotations\n"
+
+
+def findings_for(snippet, rel_path="core/example.py"):
+    return lint_source(PRELUDE + textwrap.dedent(snippet), rel_path)
+
+
+def rules_for(snippet, rel_path="core/example.py"):
+    return [f.rule for f in findings_for(snippet, rel_path)]
+
+
+class TestFutureAnnotations:
+    def test_missing_import_is_flagged(self):
+        findings = lint_source("x = 1\n", "core/example.py")
+        assert [f.rule for f in findings] == ["future-annotations"]
+
+    def test_present_import_passes(self):
+        assert findings_for("x = 1\n") == []
+
+
+class TestUntypedDef:
+    def test_unannotated_parameter(self):
+        assert "untyped-def" in rules_for("def f(a) -> None: ...\n")
+
+    def test_missing_return(self):
+        assert "untyped-def" in rules_for("def f(a: int): ...\n")
+
+    def test_init_needs_no_return_annotation(self):
+        snippet = """
+        class C:
+            def __init__(self, a: int):
+                self.a = a
+        """
+        assert rules_for(snippet) == []
+
+    def test_star_args_need_annotations(self):
+        assert "untyped-def" in rules_for("def f(*args, **kw) -> None: ...\n")
+
+    def test_fully_annotated_passes(self):
+        snippet = """
+        def f(a: int, *rest: str, flag: bool = False, **kw: object) -> int:
+            return a
+        """
+        assert rules_for(snippet) == []
+
+
+class TestEnumEquality:
+    def test_eq_against_member_is_flagged(self):
+        snippet = """
+        def f(p: object) -> bool:
+            return p == ForwardPolicy.DELETION
+        """
+        assert "enum-equality" in rules_for(snippet)
+
+    def test_identity_test_passes(self):
+        snippet = """
+        def f(p: object) -> bool:
+            return p is ForwardPolicy.DELETION
+        """
+        assert rules_for(snippet) == []
+
+    def test_unrelated_attribute_eq_passes(self):
+        snippet = """
+        def f(a: object, b: object) -> bool:
+            return a.value == b.value
+        """
+        assert rules_for(snippet) == []
+
+
+class TestNonexhaustiveDispatch:
+    def test_two_member_chain_without_else_is_flagged(self):
+        snippet = """
+        def f(p: object) -> str:
+            if p is ForwardPolicy.LAZINESS:
+                return "l"
+            elif p is ForwardPolicy.DELETION:
+                return "d"
+            return "?"
+        """
+        findings = findings_for(snippet)
+        assert [f.rule for f in findings] == ["nonexhaustive-dispatch"]
+        assert "EXPANSION" in findings[0].message
+
+    def test_exhaustive_chain_passes(self):
+        snippet = """
+        def f(p: object) -> str:
+            if p is ForwardPolicy.LAZINESS:
+                return "l"
+            elif p is ForwardPolicy.DELETION:
+                return "d"
+            elif p is ForwardPolicy.EXPANSION:
+                return "e"
+            return "?"
+        """
+        assert rules_for(snippet) == []
+
+    def test_chain_with_else_passes(self):
+        snippet = """
+        def f(p: object) -> str:
+            if p is ForwardPolicy.LAZINESS:
+                return "l"
+            elif p is ForwardPolicy.DELETION:
+                return "d"
+            else:
+                return "other"
+        """
+        assert rules_for(snippet) == []
+
+    def test_single_test_passes(self):
+        snippet = """
+        def f(p: object) -> str:
+            if p is ForwardPolicy.LAZINESS:
+                return "l"
+            return "?"
+        """
+        assert rules_for(snippet) == []
+
+
+class TestBareStatusLiteral:
+    def test_eq_against_200_is_flagged(self):
+        snippet = """
+        def f(status: int) -> bool:
+            return status == 200
+        """
+        assert "bare-status-literal" in rules_for(snippet)
+
+    def test_status_module_is_exempt(self):
+        snippet = """
+        def f(status: int) -> bool:
+            return status == 200
+        """
+        assert rules_for(snippet, rel_path="http/status.py") == []
+
+    def test_inequality_comparisons_pass(self):
+        snippet = """
+        def f(status: int) -> bool:
+            return status >= 200
+        """
+        assert rules_for(snippet) == []
+
+    def test_non_status_integers_pass(self):
+        snippet = """
+        def f(n: int) -> bool:
+            return n == 1460
+        """
+        assert rules_for(snippet) == []
+
+
+class TestAdhocWireArith:
+    def test_len_serialize_in_core_is_flagged(self):
+        snippet = """
+        def f(request: object) -> int:
+            return len(request.serialize())
+        """
+        assert "adhoc-wire-arith" in rules_for(snippet, "netsim/example.py")
+
+    def test_len_serialize_outside_scope_passes(self):
+        snippet = """
+        def f(request: object) -> int:
+            return len(request.serialize())
+        """
+        assert rules_for(snippet, rel_path="reporting/example.py") == []
+
+    def test_len_body_plus_header_size_is_flagged(self):
+        snippet = """
+        def f(response: object) -> int:
+            return response.header_block_size() + len(response.body)
+        """
+        assert "adhoc-wire-arith" in rules_for(snippet, "cdn/example.py")
+
+    def test_wire_size_call_alone_passes(self):
+        snippet = """
+        def f(response: object) -> int:
+            return response.wire_size()
+        """
+        assert rules_for(snippet, rel_path="cdn/example.py") == []
+
+
+class TestFloatByteArith:
+    def test_true_division_into_bytes_name_is_flagged(self):
+        snippet = """
+        def f(total: int) -> None:
+            victim_bytes = total / 2
+        """
+        assert "float-byte-arith" in rules_for(snippet)
+
+    def test_augmented_division_is_flagged(self):
+        snippet = """
+        def f(response_bytes: int) -> None:
+            response_bytes /= 2
+        """
+        assert "float-byte-arith" in rules_for(snippet)
+
+    def test_floor_division_passes(self):
+        snippet = """
+        def f(total: int) -> None:
+            victim_bytes = total // 2
+        """
+        assert rules_for(snippet) == []
+
+    def test_division_into_ratio_name_passes(self):
+        snippet = """
+        def f(a: int, b: int) -> None:
+            factor = a / b
+        """
+        assert rules_for(snippet) == []
+
+
+class TestRepoIsClean:
+    def test_lint_repo_finds_nothing(self):
+        findings = lint_repo()
+        assert findings == [], "\n".join(str(f) for f in findings)

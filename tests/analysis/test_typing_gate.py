@@ -1,0 +1,27 @@
+"""The strict-typing gate: ``mypy --strict`` over ``src/repro``.
+
+Runs only where mypy is installed (CI installs it; the library itself
+has no third-party dependencies).  Locally the AST linter's
+``untyped-def`` rule covers the largest strict component.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+mypy = pytest.importorskip("mypy", reason="mypy not installed; CI runs this gate")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def test_mypy_strict_passes():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
