@@ -46,6 +46,18 @@ from repro.defense.mitigations import (
     with_slicing,
 )
 from repro.errors import ReproError
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    FlakyOrigin,
+    RetryPolicy,
+    current_faults,
+    retry_policy_for,
+    use_faults,
+)
+from repro.faults.experiment import FaultedSbrResult, measure_sbr_under_faults
 from repro.netsim.overhead import Http2FramingModel, TcpOverheadModel
 from repro.origin.server import OriginServer
 
@@ -62,7 +74,13 @@ __all__ = [
     "ConnectionDropAttack",
     "Deployment",
     "EdgeCluster",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "FaultedSbrResult",
     "FeasibilityProbe",
+    "FlakyOrigin",
     "Http2FramingModel",
     "MitigatedProfile",
     "ObrAttack",
@@ -71,6 +89,7 @@ __all__ = [
     "RangeAmpDetector",
     "ReproError",
     "ResumingDownload",
+    "RetryPolicy",
     "SbrAttack",
     "SbrCampaign",
     "SbrResult",
@@ -80,11 +99,15 @@ __all__ = [
     "all_vendor_names",
     "compare_with_sbr",
     "create_profile",
+    "current_faults",
     "estimate_obr_campaign",
     "estimate_sbr_campaign",
     "exploited_range_cases",
+    "measure_sbr_under_faults",
+    "retry_policy_for",
     "survey",
     "sweep_resource_sizes",
+    "use_faults",
     "vulnerable_combinations",
     "with_bounded_expansion",
     "with_laziness",

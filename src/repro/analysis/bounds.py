@@ -168,6 +168,85 @@ def _fetch_plan(vendor: str, resource_size: int) -> List[_Fetch]:
 
 
 # ---------------------------------------------------------------------------
+# SBR under faults + retries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultedSbrBound:
+    """Retry-aware worst case: the clean bound × the attempt budget.
+
+    Under a fault plan the CDN may re-ship every back-to-origin fetch up
+    to ``max_attempts`` times, so the victim-side numerator scales by the
+    attempt budget.  The attacker-side denominator drops to the absolute
+    response-wire floor: when the budget exhausts, the client gets a
+    relayed (unpadded) error instead of the padded vendor response.
+
+    Scope: sound for fault plans whose delivery faults target the
+    ``cdn-origin`` segment (the default plan).  A plan injecting resets
+    on the attacker's own ``client-cdn`` segment shrinks the denominator
+    arbitrarily and no static bound holds.
+    """
+
+    base: SbrBound
+    max_attempts: int
+
+    @property
+    def vendor(self) -> str:
+        return self.base.vendor
+
+    @property
+    def resource_size(self) -> int:
+        return self.base.resource_size
+
+    @property
+    def origin_bytes_upper(self) -> int:
+        """Per-round victim bytes: every fetch re-shipped every attempt."""
+        return self.base.origin_bytes_upper * self.max_attempts
+
+    @property
+    def client_bytes_lower(self) -> int:
+        """Per-round attacker floor: one bare-wire response per case."""
+        return self.base.client_responses * RESPONSE_WIRE_FLOOR
+
+    @property
+    def factor(self) -> float:
+        """Upper bound on the simulated faulted amplification factor."""
+        if self.client_bytes_lower <= 0:
+            return 0.0
+        return self.origin_bytes_upper / self.client_bytes_lower
+
+
+def faulted_sbr_bound(
+    vendor: str,
+    resource_size: int,
+    policy: Optional[object] = None,
+    overhead: Optional[OverheadModel] = None,
+) -> FaultedSbrBound:
+    """Retry-aware worst-case SBR amplification for one vendor × size.
+
+    ``policy`` defaults to the vendor's stock
+    :class:`~repro.faults.retry.RetryPolicy` — the one the simulation
+    engages whenever a fault injector is installed — so
+    ``faulted_sbr_bound(v, s).factor`` upper-bounds
+    ``measure_sbr_under_faults(v, s).amplification`` for any seed of the
+    default plan.
+    """
+    from repro.faults.retry import RetryPolicy, retry_policy_for
+
+    if policy is None:
+        policy = retry_policy_for(vendor)
+    if not isinstance(policy, RetryPolicy):
+        raise ConfigurationError(
+            f"policy must be a RetryPolicy, got {type(policy).__name__}"
+        )
+    return FaultedSbrBound(
+        base=sbr_bound(vendor, resource_size, overhead=overhead),
+        max_attempts=policy.max_attempts,
+    )
+
+
+# ---------------------------------------------------------------------------
 # OBR
 # ---------------------------------------------------------------------------
 
@@ -353,8 +432,10 @@ __all__ = [
     "ORIGIN_HEADER_ALLOWANCE",
     "PAD_HEADER_SLACK",
     "RESPONSE_WIRE_FLOOR",
+    "FaultedSbrBound",
     "ObrBound",
     "SbrBound",
+    "faulted_sbr_bound",
     "obr_bound",
     "sbr_bound",
     "static_max_n",

@@ -25,6 +25,10 @@ These are easy invariants to erode one convenient shortcut at a time, so
   :class:`~repro.http.status.StatusCode` members, not bare integers.
 * ``float-byte-arith`` — true division never lands in a ``*_bytes`` /
   ``*_size`` / ``*_traffic`` binding; byte counts stay integral.
+* ``broad-except`` — no ``except:`` / ``except Exception`` /
+  ``except BaseException`` outside ``runner/executor.py`` (the one
+  place allowed to contain arbitrary per-cell failures); everywhere
+  else handlers name the specific errors they can recover from.
 """
 
 from __future__ import annotations
@@ -97,6 +101,7 @@ class _Visitor(ast.NodeVisitor):
         self.findings: List[LintFinding] = []
         self.in_wire_scope = rel_path.split("/", 1)[0] in WIRE_SCOPED_PACKAGES
         self.check_status = rel_path != "http/status.py"
+        self.check_broad_except = rel_path != "runner/executor.py"
 
     # -- helpers -------------------------------------------------------------
 
@@ -299,6 +304,42 @@ class _Visitor(ast.NodeVisitor):
                     "len(*.body) mixed into header-size arithmetic; "
                     "use wire_size()",
                 )
+        self.generic_visit(node)
+
+    # -- broad-except ----------------------------------------------------------
+
+    @staticmethod
+    def _broad_name(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name) and node.id in ("Exception", "BaseException"):
+            return node.id
+        return None
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self.check_broad_except:
+            if node.type is None:
+                self._add(
+                    node,
+                    "broad-except",
+                    "bare 'except:' swallows everything; name the errors "
+                    "this handler can actually recover from",
+                )
+            else:
+                types = (
+                    list(node.type.elts)
+                    if isinstance(node.type, ast.Tuple)
+                    else [node.type]
+                )
+                for entry in types:
+                    broad = self._broad_name(entry)
+                    if broad is not None:
+                        self._add(
+                            node,
+                            "broad-except",
+                            f"'except {broad}' outside runner/executor.py; "
+                            "name the errors this handler can actually "
+                            "recover from",
+                        )
+                        break
         self.generic_visit(node)
 
     # -- float-byte-arith ------------------------------------------------------

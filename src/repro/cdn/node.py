@@ -19,13 +19,15 @@ another CDN) and an upstream handler (the origin, or another CDN) and:
 from __future__ import annotations
 
 import logging
-from typing import Callable, List, Optional, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.cdn.cache import CdnCache
 from repro.cdn.multirange import apply_reply_behavior
 from repro.cdn.vendors.base import VendorConfig, VendorContext, VendorProfile
 from repro.cdn.window import ContentWindow
 from repro.errors import RangeNotSatisfiableError, RequestRejectedError
+from repro.faults.plan import current_faults
+from repro.faults.retry import RetryPolicy, retry_policy_for
 from repro.handler import HttpHandler
 from repro.http.body import Body
 from repro.http.headers import Headers
@@ -39,6 +41,7 @@ from repro.http.ranges import (
     try_parse_range_header,
 )
 from repro.http.status import StatusCode
+from repro.netsim.connection import ExchangeRecord
 from repro.netsim.tap import CDN_ORIGIN, TrafficLedger
 from repro.obs.metrics import current_metrics
 from repro.obs.tracer import NullSpan, Span, current_tracer
@@ -61,8 +64,10 @@ class CdnNode(HttpHandler):
         cache: Optional[CdnCache] = None,
         size_hint_fn: Optional[Callable[[str], Optional[int]]] = None,
         node_label: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.profile = profile
+        self.retry_policy = retry_policy
         self.upstream = upstream
         self.ledger = ledger if ledger is not None else TrafficLedger()
         self.upstream_segment = upstream_segment
@@ -155,13 +160,81 @@ class CdnNode(HttpHandler):
 
     # -- upstream exchange ----------------------------------------------------
 
+    def _active_retry_policy(self) -> Optional[RetryPolicy]:
+        """The policy governing back-to-origin retries, if any.
+
+        An explicitly configured policy always applies.  Otherwise the
+        vendor's stock policy engages only while a fault injector is
+        installed — the clean happy-path simulation (and its pinned
+        traffic totals) must never see a retry.
+        """
+        if self.retry_policy is not None:
+            return self.retry_policy
+        if current_faults() is not None:
+            return retry_policy_for(self.profile.name)
+        return None
+
     def _exchange(
         self,
         upstream_request: HttpRequest,
         payload_cap: Optional[int] = None,
         note: str = "",
     ) -> HttpResponse:
-        """Send one request upstream over a fresh connection.
+        """Send one request upstream, re-fetching per the retry policy.
+
+        Each attempt opens a fresh connection and re-ships the whole
+        fetch window — the re-amplification the faulted experiments
+        measure.  Backoff delays are accounted (never slept), with
+        deterministic jitter drawn from the fault injector.
+        """
+        policy = self._active_retry_policy()
+        if policy is None:
+            response, _ = self._exchange_once(upstream_request, payload_cap, note)
+            return response
+
+        injector = current_faults()
+        registry = current_metrics()
+        attempt = 0
+        while True:
+            attempt += 1
+            if attempt == 1:
+                attempt_note = note
+            else:
+                retry_tag = f"retry{attempt - 1}"
+                attempt_note = f"{note}+{retry_tag}" if note else retry_tag
+            response, record = self._exchange_once(
+                upstream_request, payload_cap, attempt_note
+            )
+            # An intentional payload cap (Azure's 8 MB cut) truncates by
+            # design; only an *unexpected* truncation is a failure.
+            failed_transfer = payload_cap is None and record.truncated
+            needs_retry = policy.should_retry(int(record.status), truncated=failed_transfer)
+            if not needs_retry or attempt >= policy.max_attempts:
+                if registry is not None:
+                    registry.record_fetch_attempts(
+                        self.profile.name, attempt, ok=not needs_retry
+                    )
+                if injector is not None:
+                    injector.note_fetch(self.profile.name, attempt, ok=not needs_retry)
+                return response
+            unit = injector.jitter_unit() if injector is not None else 0.5
+            delay = policy.backoff_s(attempt, unit=unit)
+            if injector is not None:
+                injector.note_retry(self.profile.name, delay)
+            if registry is not None:
+                registry.record_retry(self.profile.name, delay)
+            logger.debug(
+                "%s retrying upstream fetch (attempt %d, backoff %.3fs)",
+                self.node_label, attempt + 1, delay,
+            )
+
+    def _exchange_once(
+        self,
+        upstream_request: HttpRequest,
+        payload_cap: Optional[int] = None,
+        note: str = "",
+    ) -> Tuple[HttpResponse, ExchangeRecord]:
+        """One upstream attempt over a fresh connection.
 
         ``payload_cap`` models this node cutting the connection after
         roughly that many response *payload* bytes have arrived (Azure's
@@ -206,8 +279,8 @@ class CdnNode(HttpHandler):
             received.body = response.body.slice(
                 0, max(0, record.response_bytes_delivered - response.header_block_size())
             )
-            return received
-        return response
+            return received, record
+        return response, record
 
     def _size_hint(self, request: HttpRequest) -> Optional[int]:
         if self.size_hint_fn is None:

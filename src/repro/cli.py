@@ -90,6 +90,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--obr-size", type=int, default=1024,
         help="OBR resource size in bytes the bounds assume (default: 1024)",
     )
+    analyze.add_argument(
+        "--with-retries", action="store_true",
+        help="also print the retry-aware SBR bound (clean bound scaled by "
+             "each vendor's back-to-origin attempt budget)",
+    )
 
     lint = commands.add_parser(
         "lint",
@@ -146,6 +151,26 @@ def _build_parser() -> argparse.ArgumentParser:
     run_all.add_argument(
         "--no-progress", action="store_true",
         help="suppress the live progress line",
+    )
+    run_all.add_argument(
+        "--faults", action="store_true",
+        help="also run the faulted-SBR sweep (Table VI): seeded fault "
+             "plan + vendor retry policies",
+    )
+    run_all.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="fault plan seed (default: 20200605); same seed, same faults",
+    )
+    run_all.add_argument(
+        "--checkpoint", nargs="?", const="runall_checkpoint.jsonl",
+        default=None, metavar="PATH",
+        help="journal finished cells to PATH so a killed run can resume "
+             "(default PATH: runall_checkpoint.jsonl)",
+    )
+    run_all.add_argument(
+        "--resume", action="store_true",
+        help="reuse the checkpoint from a previous killed run; only the "
+             "missing cells execute (implies --checkpoint)",
     )
 
     return parser
@@ -316,6 +341,18 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     from repro.obs.progress import ProgressReporter
     from repro.runner.runall import run_all, write_report
 
+    from pathlib import Path
+
+    from repro.faults.experiment import DEFAULT_FAULT_SEED
+
+    checkpoint_path = args.checkpoint
+    if args.resume and checkpoint_path is None:
+        checkpoint_path = "runall_checkpoint.jsonl"
+    if checkpoint_path is not None and not args.resume:
+        # A fresh run starts a fresh journal; a stale one is worthless
+        # (and the library refuses to overwrite it silently).
+        Path(checkpoint_path).unlink(missing_ok=True)
+
     collect_obs = bool(args.trace or args.metrics or args.profile)
     reporter = None if args.no_progress else ProgressReporter(prefix="run-all")
     report = run_all(
@@ -323,9 +360,22 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         quick=args.quick,
         collect_obs=collect_obs,
         observer=reporter,
+        faults=args.faults,
+        fault_seed=(
+            args.fault_seed if args.fault_seed is not None else DEFAULT_FAULT_SEED
+        ),
+        checkpoint_path=checkpoint_path,
+        resume=args.resume,
     )
     if reporter is not None:
         reporter.close()
+    if checkpoint_path is not None:
+        print(
+            f"checkpoint: {checkpoint_path} "
+            f"({report.restored_cells} cell(s) restored)"
+            if args.resume
+            else f"checkpoint: {checkpoint_path}"
+        )
     print(
         f"run-all: {report.cell_count} cells over {report.workers} worker(s) "
         f"in {report.duration_s:.1f}s "
@@ -403,6 +453,30 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             ],
         )
     )
+    if report.table_faults:
+        print(
+            f"\nTable VI - SBR under faults + vendor retries "
+            f"(seed {report.fault_seed}):"
+        )
+        print(
+            render_table(
+                ["CDN", "Size", "Clean", "Faulted", "Re-amp", "Faults",
+                 "Retries", "Budget"],
+                [
+                    [
+                        row.display_name,
+                        f"{row.resource_size // MB}MB",
+                        f"{row.clean_factor:.0f}",
+                        f"{row.faulted_factor:.0f}",
+                        f"{row.reamplification:.2f}x",
+                        row.faults,
+                        row.retries,
+                        row.max_attempts,
+                    ]
+                    for row in report.table_faults
+                ],
+            )
+        )
     print("\nFig 6a - SBR factor vs size:")
     for series in report.fig6:
         print(f"  {series.vendor:<12} {render_sparkline(series.factors, width=40)}")
@@ -445,6 +519,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f"{args.size_mb}MB (SBR) / {args.obr_size}B (OBR), "
             f"zero traffic simulated"
         )
+    if args.with_retries and args.format != "json":
+        from repro.analysis.bounds import faulted_sbr_bound
+        from repro.cdn.vendors import all_vendor_names, create_profile
+        from repro.reporting.render import render_table
+
+        rows = []
+        for name in all_vendor_names():
+            bound = faulted_sbr_bound(name, args.size_mb * MB)
+            rows.append(
+                [
+                    create_profile(name).display_name,
+                    bound.max_attempts,
+                    f"{bound.base.factor:.0f}",
+                    f"{bound.factor:.0f}",
+                ]
+            )
+        print(
+            f"\nRetry-aware SBR bound at {args.size_mb}MB "
+            f"(clean bound x attempt budget, bare-wire denominator):"
+        )
+        print(render_table(["CDN", "Attempts", "Clean bound", "Faulted bound"], rows))
     return 0
 
 

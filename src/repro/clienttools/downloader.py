@@ -11,7 +11,10 @@ paper's §II-B motivation):
 
 Both work against any deployment (direct origin or through CDNs) and
 double as end-to-end checks that the simulator serves correct bytes to
-well-behaved clients.
+well-behaved clients.  Both honor ``Retry-After`` on 5xx responses
+(RFC 7231 §7.1.3): the transfer is re-issued after the advertised
+delta-seconds, up to ``retry_attempts`` tries per segment; the waits
+are tallied (not slept) in :attr:`DownloadReport.waited_s`.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.core.deployment import Client, Deployment
+from repro.core.deployment import Client, ClientResult, Deployment
 from repro.errors import ReproError
 from repro.http.ranges import parse_content_range
 from repro.http.status import StatusCode
@@ -38,6 +41,8 @@ class DownloadReport:
     total_length: int
     requests_sent: int
     bytes_received: int
+    retries: int = 0
+    waited_s: float = 0.0
 
     @property
     def overhead_ratio(self) -> float:
@@ -45,6 +50,64 @@ class DownloadReport:
         if self.total_length == 0:
             return 0.0
         return self.bytes_received / self.total_length
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Parse a delta-seconds ``Retry-After`` value.
+
+    The HTTP-date form is not produced by this simulation's origin or
+    vendors, so anything non-numeric (or negative) yields ``None`` and
+    the response is treated as final.
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None
+    if seconds < 0:
+        return None
+    return seconds
+
+
+@dataclass
+class _TransferTally:
+    """Mutable per-download accounting shared by every fetch."""
+
+    requests_sent: int = 0
+    bytes_received: int = 0
+    retries: int = 0
+    waited_s: float = 0.0
+
+    def fetch(
+        self,
+        client: Client,
+        path: str,
+        range_value: str,
+        retry_attempts: int,
+        abort_after: Optional[int] = None,
+    ) -> ClientResult:
+        """One logical transfer: re-issue on 5xx + ``Retry-After``."""
+        attempt = 1
+        while True:
+            result = client.get(
+                path, range_value=range_value, abort_after=abort_after
+            )
+            self.requests_sent += 1
+            self.bytes_received += result.received_bytes
+            status = int(result.response.status)
+            if status < int(StatusCode.INTERNAL_SERVER_ERROR):
+                return result
+            if attempt >= retry_attempts:
+                return result
+            delay = _parse_retry_after(result.response.headers.get("Retry-After"))
+            if delay is None:
+                return result
+            # Honor the pacing hint without a wall-clock sleep: the
+            # simulated wait is reported, not performed.
+            self.retries += 1
+            self.waited_s += delay
+            attempt += 1
 
 
 def _probe_length(client: Client, path: str) -> int:
@@ -66,11 +129,19 @@ def _probe_length(client: Client, path: str) -> int:
 class SegmentedDownloader:
     """Download a resource in ``segments`` parallel-style range fetches."""
 
-    def __init__(self, deployment: Deployment, segments: int = 4) -> None:
+    def __init__(
+        self,
+        deployment: Deployment,
+        segments: int = 4,
+        retry_attempts: int = 3,
+    ) -> None:
         if segments < 1:
             raise ValueError(f"segments must be >= 1, got {segments}")
+        if retry_attempts < 1:
+            raise ValueError(f"retry_attempts must be >= 1, got {retry_attempts}")
         self.deployment = deployment
         self.segments = segments
+        self.retry_attempts = retry_attempts
 
     def plan(self, total_length: int) -> List[Tuple[int, int]]:
         """Split ``[0, total_length)`` into contiguous inclusive ranges."""
@@ -91,13 +162,12 @@ class SegmentedDownloader:
         """Fetch ``path`` in segments and reassemble."""
         client = self.deployment.client(host=host)
         total = _probe_length(client, path)
-        requests_sent = 1
-        bytes_received = 0
+        tally = _TransferTally(requests_sent=1)
         pieces: List[bytes] = []
         for start, end in self.plan(total):
-            result = client.get(path, range_value=f"bytes={start}-{end}")
-            requests_sent += 1
-            bytes_received += result.received_bytes
+            result = tally.fetch(
+                client, path, f"bytes={start}-{end}", self.retry_attempts
+            )
             if result.response.status != StatusCode.PARTIAL_CONTENT:
                 raise DownloadError(
                     f"segment {start}-{end}: expected 206, got "
@@ -118,8 +188,10 @@ class SegmentedDownloader:
             path=path,
             content=content,
             total_length=total,
-            requests_sent=requests_sent,
-            bytes_received=bytes_received,
+            requests_sent=tally.requests_sent,
+            bytes_received=tally.bytes_received,
+            retries=tally.retries,
+            waited_s=tally.waited_s,
         )
 
 
@@ -131,11 +203,19 @@ class ResumingDownload:
     arrived and resumes with ``bytes=<received>-``.
     """
 
-    def __init__(self, deployment: Deployment, chunk_size: int = 64 * 1024) -> None:
+    def __init__(
+        self,
+        deployment: Deployment,
+        chunk_size: int = 64 * 1024,
+        retry_attempts: int = 3,
+    ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if retry_attempts < 1:
+            raise ValueError(f"retry_attempts must be >= 1, got {retry_attempts}")
         self.deployment = deployment
         self.chunk_size = chunk_size
+        self.retry_attempts = retry_attempts
 
     def download(
         self,
@@ -147,8 +227,7 @@ class ResumingDownload:
         ``interrupt_percent`` of the body and resume from the break-point."""
         client = self.deployment.client(host=host)
         total = _probe_length(client, path)
-        requests_sent = 1
-        bytes_received = 0
+        tally = _TransferTally(requests_sent=1)
         received = bytearray()
 
         while len(received) < total:
@@ -158,18 +237,20 @@ class ResumingDownload:
             if interrupt_percent is not None and start == 0:
                 # Cut the first transfer partway through its body.
                 first = client.get(path, range_value=f"bytes={start}-{end}")
-                requests_sent += 1
+                tally.requests_sent += 1
                 header_bytes = first.response.header_block_size()
                 keep = int((end - start + 1) * interrupt_percent)
                 received.extend(first.response.body.materialize()[:keep])
-                bytes_received += header_bytes + keep
+                tally.bytes_received += header_bytes + keep
                 interrupt_percent = None
                 continue
-            result = client.get(
-                path, range_value=f"bytes={start}-{end}", abort_after=abort_after
+            result = tally.fetch(
+                client,
+                path,
+                f"bytes={start}-{end}",
+                self.retry_attempts,
+                abort_after=abort_after,
             )
-            requests_sent += 1
-            bytes_received += result.received_bytes
             if result.response.status != StatusCode.PARTIAL_CONTENT:
                 raise DownloadError(
                     f"resume at {start}: expected 206, got {result.response.status}"
@@ -180,6 +261,8 @@ class ResumingDownload:
             path=path,
             content=bytes(received),
             total_length=total,
-            requests_sent=requests_sent,
-            bytes_received=bytes_received,
+            requests_sent=tally.requests_sent,
+            bytes_received=tally.bytes_received,
+            retries=tally.retries,
+            waited_s=tally.waited_s,
         )

@@ -23,6 +23,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import RangeNotSatisfiableError
 from repro.http.message import HttpRequest
 from repro.http.ranges import ranges_overlap, try_parse_range_header
 
@@ -81,7 +82,7 @@ class RangeAmpDetector:
             return
         try:
             resolved = spec.resolve(self.assumed_resource_size)
-        except Exception:
+        except RangeNotSatisfiableError:
             return
         if sum(r.length for r in resolved) <= TINY_RANGE_BYTES:
             state.tiny_ranges += 1

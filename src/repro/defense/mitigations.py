@@ -35,6 +35,7 @@ from repro.cdn.vendors.base import (
     VendorProfile,
     classify_spec,
 )
+from repro.errors import RangeNotSatisfiableError
 from repro.http.body import Body
 from repro.http.message import HttpRequest
 from repro.http.ranges import (
@@ -69,7 +70,7 @@ def rfc7233_multirange_guard(
             return None
         try:
             resolved = spec.resolve(resource_size_hint)
-        except Exception:  # unsatisfiable: nothing to guard
+        except RangeNotSatisfiableError:  # unsatisfiable: nothing to guard
             return None
         overlapping = sum(
             1

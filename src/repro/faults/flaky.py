@@ -1,0 +1,47 @@
+"""A deterministic flaky-origin wrapper shared by tests and experiments."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.handler import HttpHandler
+from repro.http.headers import Headers
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.status import StatusCode
+
+
+class FlakyOrigin(HttpHandler):
+    """Wraps a handler; fails every ``period``-th request with ``status``.
+
+    The failure response carries ``Retry-After: {retry_after}`` (omitted
+    when ``retry_after`` is None) so retry-aware clients can be
+    exercised against it.
+    """
+
+    def __init__(
+        self,
+        inner: HttpHandler,
+        period: int = 2,
+        status: int = int(StatusCode.SERVICE_UNAVAILABLE),
+        retry_after: Optional[int] = 1,
+    ) -> None:
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period!r}")
+        self.inner = inner
+        self.period = period
+        self.status = status
+        self.retry_after = retry_after
+        self._count = 0
+
+    @property
+    def requests_seen(self) -> int:
+        return self._count
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        self._count += 1
+        if self._count % self.period == 0:
+            pairs = [("Content-Length", "0")]
+            if self.retry_after is not None:
+                pairs.append(("Retry-After", str(self.retry_after)))
+            return HttpResponse(self.status, headers=Headers(pairs))
+        return self.inner.handle(request)

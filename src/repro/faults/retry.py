@@ -1,0 +1,78 @@
+"""Vendor retry/backoff policies for CDN back-to-origin fetches.
+
+The paper measures what a CDN ships per fetch; this module models how
+many times it ships it.  Budgets are modeled on vendors' published
+origin-retry behavior and on the abort/maintain split observed in
+``core/connection_drop.py`` — vendors that maintain the origin fetch
+after a client abort are exactly the ones that lean on aggressive
+retries to keep their caches warm.
+
+Backoff delays are *simulated* (accounted, never slept), and jitter is
+a deterministic unit draw supplied by the caller, so two runs with the
+same fault seed accrue identical backoff totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.http.status import StatusCode
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget and backoff schedule for one vendor's origin fetches."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.5
+    multiplier: float = 2.0
+    max_delay_s: float = 8.0
+    jitter_fraction: float = 0.25
+    retry_on_5xx: bool = True
+    retry_on_truncation: bool = True
+
+    def should_retry(self, status: int, truncated: bool = False) -> bool:
+        """Whether a completed attempt with this outcome warrants another."""
+        if truncated and self.retry_on_truncation:
+            return True
+        if status >= int(StatusCode.INTERNAL_SERVER_ERROR) and self.retry_on_5xx:
+            return True
+        return False
+
+    def backoff_s(self, attempt: int, unit: float = 0.0) -> float:
+        """Delay before attempt ``attempt + 1`` (``attempt`` is 1-based).
+
+        ``unit`` in [0, 1) spreads the delay across
+        ``[1 - jitter, 1 + jitter]`` of the exponential schedule.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt numbers are 1-based, got {attempt!r}")
+        raw = self.base_delay_s * self.multiplier ** (attempt - 1)
+        capped = min(raw, self.max_delay_s)
+        return capped * (1.0 + self.jitter_fraction * (2.0 * unit - 1.0))
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+# Attempt budgets track each vendor's observed posture: the
+# maintain-on-abort vendors (akamai, cdn77, cdnsun) retry hardest; azure
+# never re-fetches what it truncated on purpose (its capped fetch is a
+# design decision, not a failure); the strict small-window vendors
+# (fastly, keycdn, stackpath) give up fast.
+VENDOR_RETRY_POLICIES: Dict[str, RetryPolicy] = {
+    "akamai": RetryPolicy(max_attempts=4, base_delay_s=0.25),
+    "azure": RetryPolicy(max_attempts=2, retry_on_truncation=False),
+    "cdn77": RetryPolicy(max_attempts=4),
+    "cdnsun": RetryPolicy(max_attempts=4),
+    "cloudflare": RetryPolicy(max_attempts=3, base_delay_s=0.25),
+    "cloudfront": RetryPolicy(max_attempts=3),
+    "fastly": RetryPolicy(max_attempts=2, base_delay_s=0.1, max_delay_s=1.0),
+    "keycdn": RetryPolicy(max_attempts=2),
+    "stackpath": RetryPolicy(max_attempts=2),
+}
+
+
+def retry_policy_for(vendor: str) -> RetryPolicy:
+    """The vendor's policy, or the stock default for unlisted vendors."""
+    return VENDOR_RETRY_POLICIES.get(vendor, DEFAULT_RETRY_POLICY)

@@ -23,10 +23,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.faults.plan import FaultKind, FaultRule, current_faults
 from repro.http.message import HttpRequest, HttpResponse
 from repro.netsim.overhead import NullOverheadModel, OverheadModel
 from repro.obs.metrics import current_metrics
 from repro.obs.tracer import current_tracer
+
+
+def _fault_cap(rule: FaultRule, sent: int, header_wire: int) -> int:
+    """Delivered-byte cap a delivery fault imposes on one exchange."""
+    if rule.kind is FaultKind.RESET:
+        return 0
+    if rule.kind is FaultKind.STALL:
+        # The receiver saw headers, then the window never reopened.
+        return min(sent, header_wire)
+    if rule.kind is FaultKind.TRUNCATE:
+        return int(sent * rule.truncate_fraction)
+    raise AssertionError(f"not a delivery fault: {rule.kind!r}")
 
 
 @dataclass(frozen=True)
@@ -80,6 +93,16 @@ class Connection:
             # a single per-connection constant either way.
             sent += self.overhead.connection_setup_bytes()
             self._setup_counted = True
+        injector = current_faults()
+        if injector is not None:
+            rule = injector.delivery_fault(self.segment)
+            if rule is not None:
+                cap = _fault_cap(
+                    rule, sent, self.overhead.framed_size(response.header_block_size())
+                )
+                deliver_cap = cap if deliver_cap is None else min(deliver_cap, cap)
+                fault_tag = f"fault:{rule.kind.value}"
+                note = f"{note}+{fault_tag}" if note else fault_tag
         delivered = sent if deliver_cap is None else min(sent, max(0, deliver_cap))
         # Each exchange gets its own leaf span (a hop span can cover
         # several exchanges — e.g. Azure's dual back-to-origin fetches —

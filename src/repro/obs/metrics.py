@@ -37,6 +37,10 @@ RANGE_REWRITES = "repro_range_rewrites_total"
 AMPLIFICATION_FACTOR = "repro_amplification_factor"
 RUNNER_CELL_SECONDS = "repro_runner_cell_seconds"
 RUNNER_CELLS = "repro_runner_cells_total"
+FAULTS_INJECTED = "repro_faults_injected_total"
+FETCH_RETRIES = "repro_fetch_retries_total"
+RETRY_BACKOFF_SECONDS = "repro_retry_backoff_seconds_total"
+FETCH_ATTEMPTS = "repro_fetch_attempts"
 
 #: Bucket bounds for the amplification-factor distribution (factors span
 #: ~1 to ~45000 across the paper's tables; roughly log-spaced).
@@ -44,6 +48,9 @@ AMPLIFICATION_BUCKETS = (1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0,
                          10000.0, 50000.0)
 #: Bucket bounds for runner cell latency (seconds).
 CELL_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0)
+#: Bucket bounds for back-to-origin fetch attempt counts (the largest
+#: vendor budget today is 4; headroom for custom policies).
+FETCH_ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
 DEFAULT_BUCKETS = (0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
 
 
@@ -342,6 +349,26 @@ class MetricsRegistry:
             "amplification factors of completed attack runs",
             buckets=AMPLIFICATION_BUCKETS,
         ).observe(factor, victim_segment=victim_segment)
+
+    def record_fault(self, site: str, kind: str) -> None:
+        self.counter(FAULTS_INJECTED, "injected faults by site and kind").inc(
+            1, site=site, kind=kind
+        )
+
+    def record_retry(self, vendor: str, delay_s: float) -> None:
+        self.counter(FETCH_RETRIES, "back-to-origin fetch retries").inc(
+            1, vendor=vendor
+        )
+        self.counter(
+            RETRY_BACKOFF_SECONDS, "simulated backoff accrued before retries"
+        ).inc(delay_s, vendor=vendor)
+
+    def record_fetch_attempts(self, vendor: str, attempts: int, ok: bool) -> None:
+        self.histogram(
+            FETCH_ATTEMPTS,
+            "attempts per back-to-origin fetch",
+            buckets=FETCH_ATTEMPT_BUCKETS,
+        ).observe(attempts, vendor=vendor, outcome="ok" if ok else "exhausted")
 
     def record_cell(self, experiment: str, seconds: float, ok: bool) -> None:
         self.counter(RUNNER_CELLS, "grid cells executed by status").inc(

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import RangeNotSatisfiableError, ResourceNotFoundError
+from repro.faults.plan import FaultRule, current_faults
 from repro.http.headers import Headers
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.multipart import MultipartByteranges
@@ -104,6 +105,11 @@ class OriginServer:
 
     def _handle_traced(self, request: HttpRequest) -> HttpResponse:
         self.stats.requests += 1
+        injector = current_faults()
+        if injector is not None:
+            fault = injector.origin_fault(request.path)
+            if fault is not None:
+                return self._finish(self._fault_response(fault))
         if request.method not in ("GET", "HEAD"):
             return self._finish(self._error(StatusCode.BAD_REQUEST))
         try:
@@ -236,6 +242,12 @@ class OriginServer:
             ]
         )
         return HttpResponse(status, headers=headers, body=body)
+
+    def _fault_response(self, fault: FaultRule) -> HttpResponse:
+        response = self._error(StatusCode(fault.status))
+        if fault.retry_after is not None:
+            response.headers.add("Retry-After", str(fault.retry_after))
+        return response
 
     def _finish(self, response: HttpResponse) -> HttpResponse:
         self.stats.bytes_sent += response.wire_size()

@@ -1,9 +1,10 @@
-"""Structured regeneration of the paper's Tables I–V."""
+"""Structured regeneration of the paper's Tables I–V, plus the faulted
+re-amplification table (Table VI) this reproduction adds on top."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cdn.vendors import all_vendor_names, profile_class
 from repro.core.feasibility import FeasibilityProbe, VendorFeasibility, survey
@@ -184,6 +185,58 @@ def table4_rows_from_results(
                 origin_traffic=origin,
             )
         )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table VI (ours) — SBR re-amplification under faults and vendor retries
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultTableRow:
+    """One vendor/size cell of the faulted-SBR table."""
+
+    vendor: str
+    display_name: str
+    resource_size: int
+    seed: int
+    clean_factor: float
+    faulted_factor: float
+    #: Faulted origin bytes over clean origin bytes (>1 = retries
+    #: re-shipped fetch windows).
+    reamplification: float
+    retries: int
+    faults: int
+    exhausted_fetches: int
+    max_attempts: int
+
+
+def fault_rows_from_results(
+    results: Dict[Tuple[Any, ...], Any],
+    vendors: Sequence[str],
+    sizes: Sequence[int],
+    seed: int,
+) -> List[FaultTableRow]:
+    """Assemble the faulted table from (vendor, size, seed) -> FaultedSbrResult."""
+    rows = []
+    for name in vendors:
+        for size in sizes:
+            result = results[(name, size, seed)]
+            rows.append(
+                FaultTableRow(
+                    vendor=name,
+                    display_name=profile_class(name).display_name,
+                    resource_size=size,
+                    seed=seed,
+                    clean_factor=result.clean_amplification,
+                    faulted_factor=result.amplification,
+                    reamplification=result.reamplification,
+                    retries=result.retries,
+                    faults=result.total_faults,
+                    exhausted_fetches=result.exhausted_fetches,
+                    max_attempts=result.max_attempts,
+                )
+            )
     return rows
 
 

@@ -13,17 +13,22 @@ failures are captured (type + message) instead of killing the sweep.
 
 * :mod:`repro.runner.grid` — cell/grid spec model;
 * :mod:`repro.runner.executor` — serial/pool execution, deterministic
-  merging, failure + timing capture;
+  merging, failure + timing capture, per-cell retries, and worker-crash
+  containment;
+* :mod:`repro.runner.checkpoint` — crash-safe JSONL journaling so a
+  killed run resumes from its completed cells;
 * :mod:`repro.runner.memo` — memoization for the hot paths (shared SBR
   measurements across overlapping grids);
 * :mod:`repro.runner.experiments` — picklable cell functions for the
-  ``sbr`` / ``obr`` / ``flood`` experiment kinds;
+  ``sbr`` / ``obr`` / ``flood`` / ``sbr-faults`` experiment kinds;
 * :mod:`repro.runner.runall` — one-shot regeneration of Tables IV–V
-  and Figs 6–7 through a single combined grid (the CLI's ``run-all``).
+  and Figs 6–7 (plus the faulted Table VI) through a single combined
+  grid (the CLI's ``run-all``).
 """
 
 from __future__ import annotations
 
+from repro.runner.checkpoint import RunCheckpoint, cell_digest
 from repro.runner.executor import (
     CellFailure,
     CellObservation,
@@ -31,9 +36,11 @@ from repro.runner.executor import (
     CellTiming,
     GridResult,
     GridRunner,
+    RETRIES_ENV,
     RunnerCellError,
     SERIAL_ENV,
     WORKERS_ENV,
+    resolve_cell_retries,
     resolve_workers,
 )
 from repro.runner.grid import ExperimentCell, ExperimentGrid
@@ -51,14 +58,18 @@ __all__ = [
     "GridRunner",
     "Memo",
     "MemoStats",
+    "RETRIES_ENV",
     "RunAllReport",
+    "RunCheckpoint",
     "RunnerCellError",
     "SERIAL_ENV",
     "WORKERS_ENV",
     "build_run_all_grid",
+    "cell_digest",
     "clear_all_memos",
     "measure_sbr",
     "memoize",
+    "resolve_cell_retries",
     "resolve_workers",
     "run_all",
 ]

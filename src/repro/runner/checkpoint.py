@@ -1,0 +1,142 @@
+"""Crash-safe JSONL checkpointing for grid runs.
+
+A :class:`RunCheckpoint` is an append-only journal: one header line
+identifying the format, then one JSON line per finished cell, flushed
+as soon as the cell completes.  A killed run leaves at worst a torn
+final line, which the loader skips; every intact line is a cell that
+``repro run-all --resume`` does not need to re-run.
+
+Cells are identified by a content digest over ``(experiment, key,
+params)`` — stable across processes and sessions as long as the grid
+definition is unchanged — and additionally verified against the grid
+position on restore, so a reordered or edited grid silently falls back
+to recomputing rather than restoring a stale value.  Failed cells are
+journaled (for reporting) but never restored: a resume retries them.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import IO, Any, Dict, Optional, Sequence, Union
+
+from repro.runner.executor import CellOutcome
+from repro.runner.grid import ExperimentCell
+
+#: Format tag carried by the journal's header line.
+FORMAT = "repro-checkpoint-v1"
+
+#: Exceptions a corrupt or stale pickled outcome can raise on load; any
+#: of these means "recompute the cell", never "crash the resume".
+_RESTORE_ERRORS = (
+    ValueError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    pickle.UnpicklingError,
+)
+
+
+def cell_digest(cell: ExperimentCell) -> str:
+    """Content digest identifying a cell across runs and processes."""
+    token = f"{cell.experiment}|{cell.key!r}|{cell.params!r}"
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+class RunCheckpoint:
+    """An append-only journal of finished grid cells."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+        self._seen: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    # -- loading --------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="ascii") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    # Torn tail from a killed writer; everything before
+                    # it is intact.
+                    continue
+                if not isinstance(entry, dict) or entry.get("format") == FORMAT:
+                    continue
+                digest = entry.get("digest")
+                if isinstance(digest, str):
+                    self._seen[digest] = entry
+
+    @property
+    def completed_count(self) -> int:
+        return len(self._seen)
+
+    def restore(self, cells: Sequence[ExperimentCell]) -> Dict[int, CellOutcome]:
+        """Outcomes to reuse, keyed by grid index.
+
+        Only successful cells restore, and only when both the digest and
+        the grid position still match the journaled entry.
+        """
+        restored: Dict[int, CellOutcome] = {}
+        for index, cell in enumerate(cells):
+            entry = self._seen.get(cell_digest(cell))
+            if entry is None or not entry.get("ok"):
+                continue
+            blob = entry.get("outcome")
+            if not isinstance(blob, str):
+                continue
+            try:
+                outcome = pickle.loads(base64.b64decode(blob.encode("ascii")))
+            except _RESTORE_ERRORS:
+                continue
+            if not isinstance(outcome, CellOutcome) or outcome.failure is not None:
+                continue
+            if outcome.index != index or outcome.cell != cell:
+                continue
+            restored[index] = outcome
+        return restored
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, outcome: CellOutcome) -> None:
+        """Journal one finished cell; flushed before returning."""
+        digest = cell_digest(outcome.cell)
+        entry: Dict[str, Any] = {
+            "digest": digest,
+            "index": outcome.index,
+            "label": outcome.cell.label,
+            "ok": outcome.ok,
+            "outcome": base64.b64encode(pickle.dumps(outcome)).decode("ascii"),
+        }
+        handle = self._ensure_open()
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        handle.flush()
+        self._seen[digest] = entry
+
+    def _ensure_open(self) -> IO[str]:
+        if self._handle is None:
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._handle = open(self.path, "a", encoding="ascii")
+            if fresh:
+                self._handle.write(json.dumps({"format": FORMAT}) + "\n")
+                self._handle.flush()
+        return self._handle
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        return f"RunCheckpoint({str(self.path)!r}, {self.completed_count} cells)"

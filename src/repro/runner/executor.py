@@ -10,10 +10,24 @@ to the serial one; ``tests/runner/test_equivalence.py`` pins that
 guarantee.
 
 A failing cell never kills the sweep: its exception is captured as a
-:class:`CellFailure` (type name + message, both stable across
-processes) and the remaining cells keep running.  Per-cell wall time is
-recorded but excluded from equality — timing is observability, not
-result.
+:class:`CellFailure` (type name + message + cause chain, all stable
+across processes) and the remaining cells keep running.  Per-cell wall
+time is recorded but excluded from equality — timing is observability,
+not result.
+
+Degradation is layered:
+
+* **per-cell retries** (``cell_retries`` / ``REPRO_RUNNER_RETRIES``):
+  a raising cell is re-attempted in place, with exponential backoff;
+* **worker-crash containment**: a worker process dying (OOM kill,
+  segfault) breaks a ``ProcessPoolExecutor`` irrecoverably — the runner
+  catches the break, re-runs the in-flight cells solo to separate the
+  crasher from innocent bystanders, and records a deterministic crasher
+  as a ``WorkerCrash`` failure instead of losing the sweep;
+* **checkpointing**: pass a
+  :class:`~repro.runner.checkpoint.RunCheckpoint` to :meth:`GridRunner.run`
+  and every finished cell is journaled immediately; a rerun restores
+  completed cells and only executes the remainder.
 
 Worker-count resolution, in priority order:
 
@@ -31,12 +45,30 @@ from __future__ import annotations
 import os
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ReproError
 from repro.runner.grid import ExperimentCell, ExperimentGrid
+
+if TYPE_CHECKING:
+    from repro.runner.checkpoint import RunCheckpoint
 
 #: Signature of the runner's progress observer: called after every
 #: finished cell with ``(outcome, done_count, total_count)``.
@@ -46,6 +78,11 @@ Observer = Callable[["CellOutcome", int, int], None]
 SERIAL_ENV = "REPRO_RUNNER_SERIAL"
 #: Environment variable providing the default worker count.
 WORKERS_ENV = "REPRO_RUNNER_WORKERS"
+#: Environment variable providing the default per-cell retry budget.
+RETRIES_ENV = "REPRO_RUNNER_RETRIES"
+
+#: Exception-type name given to cells whose worker process died.
+WORKER_CRASH = "WorkerCrash"
 
 
 class RunnerCellError(ReproError):
@@ -63,20 +100,40 @@ class CellFailure:
 
     exception_type: str
     message: str
+    #: The full cause chain, outermost first: ``"Type: message"`` per
+    #: link, following ``__cause__`` then (unsuppressed) ``__context__``.
+    #: Cheap strings, stable across processes, so it stays in equality.
+    chain: Tuple[str, ...] = ()
     traceback: str = field(default="", compare=False, repr=False)
 
     @classmethod
     def from_exception(cls, error: BaseException) -> "CellFailure":
+        chain: List[str] = []
+        seen: set[int] = set()
+        current: Optional[BaseException] = error
+        while current is not None and id(current) not in seen:
+            seen.add(id(current))
+            chain.append(f"{type(current).__name__}: {current}")
+            if current.__cause__ is not None:
+                current = current.__cause__
+            elif current.__context__ is not None and not current.__suppress_context__:
+                current = current.__context__
+            else:
+                current = None
         return cls(
             exception_type=type(error).__name__,
             message=str(error),
+            chain=tuple(chain),
             traceback="".join(
                 traceback.format_exception(type(error), error, error.__traceback__)
             ),
         )
 
     def describe(self) -> str:
-        return f"{self.exception_type}: {self.message}"
+        base = f"{self.exception_type}: {self.message}"
+        if len(self.chain) > 1:
+            return f"{base} (root cause: {self.chain[-1]})"
+        return base
 
 
 @dataclass(frozen=True)
@@ -111,6 +168,10 @@ class CellOutcome:
     #: Observability payload (``None`` unless the run collected); like
     #: timing, excluded from equality and repr.
     obs: Optional[CellObservation] = field(default=None, compare=False, repr=False)
+    #: How many in-process attempts the cell took (1 = first try).
+    #: Excluded from equality: a resumed run may legitimately succeed on
+    #: a different attempt count than an uninterrupted one.
+    attempts: int = field(default=1, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -196,6 +257,23 @@ class GridResult:
         return CellTiming.from_outcomes(self.outcomes)
 
 
+def resolve_cell_retries(retries: Optional[int] = None) -> int:
+    """Per-cell retry budget: explicit argument, else ``REPRO_RUNNER_RETRIES``,
+    else zero (cell functions are deterministic; retries only help when a
+    fault layer or flaky external dependency is in play)."""
+    if retries is not None:
+        if retries < 0:
+            raise ReproError(f"cell retries must be >= 0, got {retries}")
+        return retries
+    env = os.environ.get(RETRIES_ENV, "").strip()
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            raise ReproError(f"{RETRIES_ENV} must be an integer, got {env!r}")
+    return 0
+
+
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Apply the worker-count resolution rules documented above."""
     if os.environ.get(SERIAL_ENV, "").strip() not in ("", "0"):
@@ -211,8 +289,35 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _attempt_cell(
+    cell: ExperimentCell, retries: int, backoff_s: float
+) -> Tuple[Any, Optional[CellFailure], int]:
+    """Run one cell with up to ``retries`` in-place re-attempts.
+
+    Returns ``(value, failure, attempts)``; backoff doubles per attempt
+    and is actually slept (this is runner resilience against flaky cell
+    dependencies, not simulated time).
+    """
+    from repro.runner.experiments import execute_cell
+
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return execute_cell(cell), None, attempts
+        except Exception as error:
+            if attempts > retries:
+                return None, CellFailure.from_exception(error), attempts
+            if backoff_s > 0:
+                time.sleep(backoff_s * 2 ** (attempts - 1))
+
+
 def _execute_indexed(
-    index: int, cell: ExperimentCell, collect: bool = False
+    index: int,
+    cell: ExperimentCell,
+    collect: bool = False,
+    retries: int = 0,
+    backoff_s: float = 0.0,
 ) -> CellOutcome:
     """Run one cell, capturing failure and timing (worker entry point).
 
@@ -222,43 +327,34 @@ def _execute_indexed(
     :class:`~repro.obs.metrics.MetricsRegistry`; the harvest ships back
     as :attr:`CellOutcome.obs`.
     """
-    from repro.runner.experiments import execute_cell
-
     if not collect:
         started = time.perf_counter()
-        try:
-            value = execute_cell(cell)
-            return CellOutcome(
-                cell=cell,
-                index=index,
-                value=value,
-                duration_s=time.perf_counter() - started,
-            )
-        except Exception as error:
-            return CellOutcome(
-                cell=cell,
-                index=index,
-                failure=CellFailure.from_exception(error),
-                duration_s=time.perf_counter() - started,
-            )
+        value, failure, attempts = _attempt_cell(cell, retries, backoff_s)
+        return CellOutcome(
+            cell=cell,
+            index=index,
+            value=value,
+            failure=failure,
+            duration_s=time.perf_counter() - started,
+            attempts=attempts,
+        )
 
     from repro.obs.metrics import MetricsRegistry, use_metrics
     from repro.obs.tracer import Tracer, use_tracer
 
     tracer = Tracer(id_prefix=f"c{index}.")
     registry = MetricsRegistry()
-    value: Any = None
-    failure: Optional[CellFailure] = None
     started = time.perf_counter()
     with use_tracer(tracer), use_metrics(registry):
         with tracer.span("runner.cell") as span:
             span.set(experiment=cell.experiment, label=cell.label, index=index)
-            try:
-                value = execute_cell(cell)
+            value, failure, attempts = _attempt_cell(cell, retries, backoff_s)
+            if failure is None:
                 span.set(ok=True)
-            except Exception as error:
-                failure = CellFailure.from_exception(error)
+            else:
                 span.set(ok=False, error=failure.describe())
+            if attempts > 1:
+                span.set(attempts=attempts)
     duration = time.perf_counter() - started
     registry.record_cell(cell.experiment, duration, failure is None)
     return CellOutcome(
@@ -272,7 +368,16 @@ def _execute_indexed(
             events=tracer.events(),
             metrics=registry.snapshot(),
         ),
+        attempts=attempts,
     )
+
+
+class _PoolBroken(Exception):
+    """Internal: the process pool died with these cell indices in flight."""
+
+    def __init__(self, in_flight: List[int]) -> None:
+        super().__init__(f"pool broke with cells {in_flight} in flight")
+        self.in_flight = in_flight
 
 
 class GridRunner:
@@ -284,6 +389,9 @@ class GridRunner:
         max_pending: Optional[int] = None,
         collect: bool = False,
         observer: Optional[Observer] = None,
+        cell_retries: Optional[int] = None,
+        retry_backoff_s: float = 0.05,
+        max_pool_restarts: int = 8,
     ) -> None:
         self.workers = resolve_workers(workers)
         #: Cap on futures in flight; bounds memory for very large grids.
@@ -294,24 +402,53 @@ class GridRunner:
         #: Progress callback invoked after every finished cell (in
         #: completion order, which differs from grid order under a pool).
         self.observer = observer
+        #: In-place re-attempts per raising cell (0 = fail immediately).
+        self.cell_retries = resolve_cell_retries(cell_retries)
+        #: Base backoff slept between in-place attempts (doubles each time).
+        self.retry_backoff_s = retry_backoff_s
+        #: How many broken-pool recoveries to tolerate before giving up.
+        self.max_pool_restarts = max_pool_restarts
 
-    def run(self, grid: ExperimentGrid) -> GridResult:
-        """Run every cell; outcomes come back in grid order."""
+    def run(
+        self, grid: ExperimentGrid, checkpoint: Optional["RunCheckpoint"] = None
+    ) -> GridResult:
+        """Run every cell; outcomes come back in grid order.
+
+        With a ``checkpoint``, previously journaled successful cells are
+        restored without re-running (or re-notifying the observer), and
+        every freshly finished cell is journaled before the run moves on.
+        """
         started = time.perf_counter()
         cells = grid.cells
-        if self.workers <= 1 or len(cells) <= 1:
-            outcomes = []
+        slots: List[Optional[CellOutcome]] = [None] * len(cells)
+        if checkpoint is not None:
+            for index, outcome in checkpoint.restore(cells).items():
+                slots[index] = outcome
+        remaining = sum(1 for slot in slots if slot is None)
+        if self.workers <= 1 or remaining <= 1:
+            done = len(cells) - remaining
             for i, cell in enumerate(cells):
-                outcome = _execute_indexed(i, cell, collect=self.collect)
-                outcomes.append(outcome)
-                self._notify(outcome, len(outcomes), len(cells))
+                if slots[i] is not None:
+                    continue
+                outcome = _execute_indexed(
+                    i,
+                    cell,
+                    collect=self.collect,
+                    retries=self.cell_retries,
+                    backoff_s=self.retry_backoff_s,
+                )
+                slots[i] = outcome
+                done += 1
+                self._record(outcome, checkpoint)
+                self._notify(outcome, done, len(cells))
             effective_workers = 1
         else:
-            outcomes = self._run_pool(cells)
-            effective_workers = min(self.workers, len(cells))
+            self._run_pool(cells, slots, checkpoint)
+            effective_workers = min(self.workers, remaining)
+        assert all(outcome is not None for outcome in slots)
         return GridResult(
             grid_name=grid.name,
-            outcomes=tuple(outcomes),
+            outcomes=tuple(outcome for outcome in slots if outcome is not None),
             workers=effective_workers,
             duration_s=time.perf_counter() - started,
         )
@@ -320,30 +457,119 @@ class GridRunner:
         if self.observer is not None:
             self.observer(outcome, done, total)
 
-    def _run_pool(self, cells: Tuple[ExperimentCell, ...]) -> List[CellOutcome]:
-        slots: List[Optional[CellOutcome]] = [None] * len(cells)
-        queue = iter(enumerate(cells))
-        completed = 0
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(cells))) as pool:
-            pending = set()
+    def _record(
+        self, outcome: CellOutcome, checkpoint: Optional["RunCheckpoint"]
+    ) -> None:
+        if checkpoint is not None:
+            checkpoint.record(outcome)
+
+    def _run_pool(
+        self,
+        cells: Tuple[ExperimentCell, ...],
+        slots: List[Optional[CellOutcome]],
+        checkpoint: Optional["RunCheckpoint"],
+    ) -> None:
+        """Fill the empty ``slots`` via a process pool, surviving crashes.
+
+        A worker process dying poisons the whole ``ProcessPoolExecutor``
+        (every pending future raises ``BrokenProcessPool``), so recovery
+        is pass-based: re-run the cells that were in flight when the pool
+        broke **solo** — a one-cell, one-worker pass — which cleanly
+        separates a deterministic crasher (its solo pass breaks too, and
+        it gets a ``WorkerCrash`` failure) from innocent cells that just
+        shared the doomed pool.  Then resume pooled execution for the
+        rest.
+        """
+        done_counter = [sum(1 for slot in slots if slot is not None)]
+        restarts = 0
+        while True:
+            remaining = [i for i, slot in enumerate(slots) if slot is None]
+            if not remaining:
+                return
+            try:
+                self._pool_pass(cells, slots, remaining, checkpoint, done_counter)
+            except _PoolBroken as broken:
+                restarts += 1
+                if restarts > self.max_pool_restarts:
+                    raise ReproError(
+                        f"grid run aborted: process pool broke {restarts} times "
+                        f"(last in-flight cells: {broken.in_flight})"
+                    )
+                self._retry_solo(cells, slots, broken.in_flight, checkpoint, done_counter)
+
+    def _retry_solo(
+        self,
+        cells: Tuple[ExperimentCell, ...],
+        slots: List[Optional[CellOutcome]],
+        suspects: List[int],
+        checkpoint: Optional["RunCheckpoint"],
+        done_counter: List[int],
+    ) -> None:
+        for index in suspects:
+            if slots[index] is not None:
+                continue
+            try:
+                self._pool_pass(
+                    cells, slots, [index], checkpoint, done_counter, solo=True
+                )
+            except _PoolBroken:
+                # Crashed alone in a fresh single-worker pool: the cell
+                # itself kills its worker, deterministically.
+                outcome = CellOutcome(
+                    cell=cells[index],
+                    index=index,
+                    failure=CellFailure(
+                        exception_type=WORKER_CRASH,
+                        message=(
+                            f"worker process died while running {cells[index].label}"
+                        ),
+                    ),
+                )
+                slots[index] = outcome
+                done_counter[0] += 1
+                self._record(outcome, checkpoint)
+                self._notify(outcome, done_counter[0], len(cells))
+
+    def _pool_pass(
+        self,
+        cells: Tuple[ExperimentCell, ...],
+        slots: List[Optional[CellOutcome]],
+        batch: List[int],
+        checkpoint: Optional["RunCheckpoint"],
+        done_counter: List[int],
+        solo: bool = False,
+    ) -> None:
+        workers = 1 if solo else min(self.workers, len(batch))
+        queue = iter(batch)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending: Dict[Any, int] = {}
             exhausted = False
             while not exhausted or pending:
                 while not exhausted and len(pending) < self.max_pending:
                     try:
-                        index, cell = next(queue)
+                        index = next(queue)
                     except StopIteration:
                         exhausted = True
                         break
-                    pending.add(
-                        pool.submit(_execute_indexed, index, cell, self.collect)
+                    future = pool.submit(
+                        _execute_indexed,
+                        index,
+                        cells[index],
+                        self.collect,
+                        self.cell_retries,
+                        self.retry_backoff_s,
                     )
+                    pending[future] = index
                 if not pending:
                     continue
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
                 for future in done:
-                    outcome = future.result()
+                    try:
+                        outcome = future.result()
+                    except BrokenExecutor:
+                        raise _PoolBroken(sorted(pending.values()))
+                    del pending[future]
                     slots[outcome.index] = outcome
-                    completed += 1
-                    self._notify(outcome, completed, len(cells))
-        assert all(outcome is not None for outcome in slots)
-        return [outcome for outcome in slots if outcome is not None]
+                    done_counter[0] += 1
+                    self._record(outcome, checkpoint)
+                    self._notify(outcome, done_counter[0], len(cells))

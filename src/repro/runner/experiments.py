@@ -5,13 +5,16 @@ through a registry, so an :class:`~repro.runner.grid.ExperimentCell`
 stays picklable and a worker process (fork or spawn) can execute it
 after merely importing this module.
 
-Three kinds cover the paper's Tables IV–V and Figs 6–7:
+Four kinds cover the paper's Tables IV–V, Figs 6–7, and the faulted
+re-amplification table:
 
 * ``sbr`` — key ``(vendor, resource_size)``, runs one SBR measurement
   (memoized through :func:`repro.runner.memo.measure_sbr`);
 * ``obr`` — key ``(fcdn, bcdn)``, searches max n and measures one OBR
   cascade;
-* ``flood`` — key ``(vendor, m)``, one Fig 7 bandwidth simulation.
+* ``flood`` — key ``(vendor, m)``, one Fig 7 bandwidth simulation;
+* ``sbr-faults`` — key ``(vendor, resource_size, seed)``, one SBR
+  measurement under a seeded fault plan with vendor retries engaged.
 """
 
 from __future__ import annotations
@@ -126,6 +129,24 @@ def _run_flood_cell(cell: ExperimentCell) -> Any:
     return simulation.run(m)
 
 
+def faulted_sbr_cell(
+    vendor: str, resource_size: int, seed: int, rounds: int = 1
+) -> ExperimentCell:
+    """Faulted-SBR cell: one vendor/size under one fault seed."""
+    return ExperimentCell.make(
+        "sbr-faults", (vendor, resource_size, seed), rounds=rounds
+    )
+
+
+def _run_faulted_sbr_cell(cell: ExperimentCell) -> Any:
+    from repro.faults.experiment import measure_sbr_under_faults
+
+    vendor, resource_size, seed = cell.key
+    rounds = cell.kwargs().get("rounds", 1)
+    return measure_sbr_under_faults(vendor, resource_size, seed=seed, rounds=rounds)
+
+
 register("sbr", _run_sbr_cell)
 register("obr", _run_obr_cell)
 register("flood", _run_flood_cell)
+register("sbr-faults", _run_faulted_sbr_cell)

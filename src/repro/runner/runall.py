@@ -23,7 +23,10 @@ from repro.cdn.vendors import all_vendor_names
 from repro.core.obr import vulnerable_combinations
 from repro.core.practical import flood_grid
 from repro.core.sbr import sbr_grid
+from repro.errors import ReproError
+from repro.faults.experiment import DEFAULT_FAULT_ROUNDS, DEFAULT_FAULT_SEED
 from repro.obs.profile import CellProfile
+from repro.runner.checkpoint import RunCheckpoint
 from repro.runner.executor import CellTiming, GridRunner, Observer
 from repro.runner.grid import ExperimentGrid
 from repro.runner.memo import sbr_per_request_traffic
@@ -59,6 +62,12 @@ class RunAllReport:
     spans: Tuple[Any, ...] = ()
     events: Tuple[Any, ...] = ()
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Faulted-SBR rows (Table VI) — empty unless the run was faulted.
+    table_faults: List = field(default_factory=list)
+    #: Seed the faulted cells ran under (``None`` for clean runs).
+    fault_seed: Optional[int] = None
+    #: Cells restored from a checkpoint instead of being re-run.
+    restored_cells: int = 0
 
     @property
     def speedup(self) -> float:
@@ -75,8 +84,16 @@ def build_run_all_grid(
     table5_combos: Optional[Sequence[Tuple[str, str]]] = None,
     fig7_ms: Sequence[int] = tuple(range(1, 16)),
     flood_vendor: str = "cloudflare",
+    fault_sizes: Sequence[int] = (),
+    fault_seed: int = DEFAULT_FAULT_SEED,
+    fault_rounds: int = DEFAULT_FAULT_ROUNDS,
 ) -> ExperimentGrid:
-    """The combined Tables IV–V / Figs 6–7 grid (deduped, ordered)."""
+    """The combined Tables IV–V / Figs 6–7 grid (deduped, ordered).
+
+    A non-empty ``fault_sizes`` adds the faulted-SBR sweep (Table VI):
+    one cell per vendor x size, each running ``fault_rounds`` attack
+    rounds under the seeded default fault plan with vendor retries on.
+    """
     from repro.reporting.figures import default_fig6_sizes
 
     names = list(vendors) if vendors is not None else all_vendor_names()
@@ -90,6 +107,16 @@ def build_run_all_grid(
     from repro.core.obr import obr_grid
 
     grid.extend(obr_grid(combos).cells)
+    if fault_sizes:
+        from repro.faults.experiment import faulted_sbr_grid
+
+        # Faulted cells run many attack rounds each; start them early,
+        # right behind the OBR searches, so they overlap the cheap tail.
+        grid.extend(
+            faulted_sbr_grid(
+                names, tuple(fault_sizes), seed=fault_seed, rounds=fault_rounds
+            ).cells
+        )
     grid.extend(
         flood_grid(
             fig7_ms,
@@ -108,6 +135,10 @@ def run_all(
     vendors: Optional[Sequence[str]] = None,
     collect_obs: bool = False,
     observer: Optional[Observer] = None,
+    faults: bool = False,
+    fault_seed: int = DEFAULT_FAULT_SEED,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> RunAllReport:
     """Regenerate Tables IV–V and Figs 6–7 in one grid run.
 
@@ -120,9 +151,19 @@ def run_all(
     then carries the merged span/event streams and metrics snapshot
     (``--trace``/``--metrics``).  ``observer`` is forwarded to the
     runner for live progress.
+
+    ``faults=True`` adds the faulted-SBR sweep (Table VI): every vendor
+    re-measured under the seeded default fault plan with its retry
+    policy engaged.
+
+    ``checkpoint_path`` journals every finished cell; ``resume=True``
+    reuses the journal from a previous (killed) run so only the missing
+    cells execute.  The resumed report is identical to an uninterrupted
+    run's.
     """
     from repro.reporting.figures import fig6_series_from_results
     from repro.reporting.tables import (
+        fault_rows_from_results,
         table4_rows_from_results,
         table5_rows_from_results,
     )
@@ -140,6 +181,11 @@ def run_all(
         table4_sizes = (1 * MB, 10 * MB, 25 * MB)
         combos = vulnerable_combinations()
         fig7_ms = tuple(range(1, 16))
+    fault_sizes: Sequence[int] = ()
+    fault_rounds = DEFAULT_FAULT_ROUNDS
+    if faults:
+        fault_sizes = (1 * MB,) if quick else (1 * MB, 10 * MB)
+        fault_rounds = 4 if quick else DEFAULT_FAULT_ROUNDS
 
     grid = build_run_all_grid(
         vendors=names,
@@ -147,9 +193,29 @@ def run_all(
         table4_sizes=table4_sizes,
         table5_combos=combos,
         fig7_ms=fig7_ms,
+        fault_sizes=fault_sizes,
+        fault_seed=fault_seed,
     )
+
+    if resume and checkpoint_path is None:
+        raise ReproError("resume requires a checkpoint path")
+    checkpoint: Optional[RunCheckpoint] = None
+    restored_cells = 0
+    if checkpoint_path is not None:
+        path = Path(checkpoint_path)
+        if path.exists() and not resume:
+            raise ReproError(
+                f"checkpoint {path} already exists; resume it or remove it first"
+            )
+        checkpoint = RunCheckpoint(path)
+        restored_cells = len(checkpoint.restore(grid.cells))
+
     runner = GridRunner(workers, collect=collect_obs, observer=observer)
-    result = runner.run(grid)
+    try:
+        result = runner.run(grid, checkpoint=checkpoint)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     result.values()  # any failed cell aborts the regeneration, loudly
 
     by_key = result.value_by_key()
@@ -205,6 +271,13 @@ def run_all(
         spans=tuple(spans),
         events=tuple(events),
         metrics=metrics,
+        table_faults=(
+            fault_rows_from_results(by_key, names, fault_sizes, fault_seed)
+            if fault_sizes
+            else []
+        ),
+        fault_seed=fault_seed if faults else None,
+        restored_cells=restored_cells,
     )
 
 
@@ -269,6 +342,37 @@ def write_report(
                     [f"{size // MB}MB"]
                     + [f"{series.factors[i]:.0f}" for series in report.fig6]
                     for i, size in enumerate(report.fig6[0].sizes)
+                ],
+            ),
+        )
+    if report.table_faults:
+        _write(
+            "table6_faulted_sbr.txt",
+            render_table(
+                [
+                    "CDN",
+                    "Size",
+                    "Clean factor",
+                    "Faulted factor",
+                    "Re-amp",
+                    "Faults",
+                    "Retries",
+                    "Exhausted",
+                    "Budget",
+                ],
+                [
+                    [
+                        row.display_name,
+                        f"{row.resource_size // MB}MB",
+                        f"{row.clean_factor:.0f}",
+                        f"{row.faulted_factor:.0f}",
+                        f"{row.reamplification:.2f}x",
+                        row.faults,
+                        row.retries,
+                        row.exhausted_fetches,
+                        row.max_attempts,
+                    ]
+                    for row in report.table_faults
                 ],
             ),
         )

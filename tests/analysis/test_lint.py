@@ -212,6 +212,71 @@ class TestFloatByteArith:
         assert rules_for(snippet) == []
 
 
+class TestBroadExcept:
+    def test_bare_except_is_flagged(self):
+        snippet = """
+        def f() -> None:
+            try:
+                pass
+            except:
+                pass
+        """
+        assert "broad-except" in rules_for(snippet)
+
+    def test_except_exception_is_flagged(self):
+        snippet = """
+        def f() -> None:
+            try:
+                pass
+            except Exception:
+                pass
+        """
+        assert "broad-except" in rules_for(snippet)
+
+    def test_except_base_exception_is_flagged(self):
+        snippet = """
+        def f() -> None:
+            try:
+                pass
+            except BaseException as error:
+                raise error
+        """
+        assert "broad-except" in rules_for(snippet)
+
+    def test_exception_inside_a_tuple_is_flagged(self):
+        snippet = """
+        def f() -> None:
+            try:
+                pass
+            except (ValueError, Exception):
+                pass
+        """
+        assert "broad-except" in rules_for(snippet)
+
+    def test_specific_handlers_pass(self):
+        snippet = """
+        def f() -> None:
+            try:
+                pass
+            except (ValueError, KeyError):
+                pass
+            except OSError:
+                pass
+        """
+        assert rules_for(snippet) == []
+
+    def test_runner_executor_is_exempt(self):
+        snippet = """
+        def f() -> None:
+            try:
+                pass
+            except Exception:
+                pass
+        """
+        assert rules_for(snippet, rel_path="runner/executor.py") == []
+        assert "broad-except" in rules_for(snippet, rel_path="runner/other.py")
+
+
 class TestRepoIsClean:
     def test_lint_repo_finds_nothing(self):
         findings = lint_repo()

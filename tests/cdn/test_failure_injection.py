@@ -11,32 +11,11 @@ from repro.cdn.node import CdnNode
 from repro.cdn.vendors import create_profile
 from repro.cdn.vendors.base import VendorConfig
 from repro.core.deployment import CdnSpec, Deployment
-from repro.handler import HttpHandler
-from repro.http.headers import Headers
-from repro.http.message import HttpRequest, HttpResponse
+from repro.faults import FlakyOrigin
 from repro.netsim.tap import TrafficLedger
 from repro.origin.server import OriginServer
 
 from tests.conftest import get, make_node, make_origin
-
-
-class FlakyOrigin(HttpHandler):
-    """Wraps an origin; fails every ``period``-th request with ``status``."""
-
-    def __init__(self, inner: HttpHandler, period: int = 2, status: int = 503) -> None:
-        self.inner = inner
-        self.period = period
-        self.status = status
-        self._count = 0
-
-    def handle(self, request: HttpRequest) -> HttpResponse:
-        self._count += 1
-        if self._count % self.period == 0:
-            return HttpResponse(
-                self.status,
-                headers=Headers([("Content-Length", "0"), ("Retry-After", "1")]),
-            )
-        return self.inner.handle(request)
 
 
 def _node_over(handler, vendor="gcore"):

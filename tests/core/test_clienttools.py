@@ -2,12 +2,15 @@
 
 import pytest
 
+from repro.cdn.vendors.base import VendorConfig
 from repro.clienttools.downloader import (
     DownloadError,
     ResumingDownload,
     SegmentedDownloader,
+    _parse_retry_after,
 )
-from repro.core.deployment import Deployment
+from repro.core.deployment import CdnSpec, Deployment
+from repro.faults import FlakyOrigin
 from repro.netsim.tap import CDN_ORIGIN
 from repro.origin.resource import Resource
 from repro.origin.server import OriginServer
@@ -19,6 +22,18 @@ def _deployment(vendor="gcore", range_support=True):
     origin = OriginServer(range_support=range_support)
     origin.add_resource(Resource(path="/file.bin", body=CONTENT))
     return Deployment.single(vendor, origin)
+
+
+def _flaky_deployment(period=2):
+    """A bypass-cache CDN over an origin that 503s every period-th hit."""
+    origin = OriginServer()
+    origin.add_resource(Resource(path="/file.bin", body=CONTENT))
+    deployment = Deployment.single(
+        CdnSpec(vendor="gcore", config=VendorConfig(bypass_cache=True)), origin
+    )
+    node = deployment.nodes[-1]
+    node.upstream = FlakyOrigin(node.upstream, period=period)
+    return deployment
 
 
 class TestPlan:
@@ -99,6 +114,66 @@ class TestResumingDownload:
     def test_invalid_chunk_size(self):
         with pytest.raises(ValueError):
             ResumingDownload(_deployment(), chunk_size=0)
+
+
+class TestParseRetryAfter:
+    def test_delta_seconds(self):
+        assert _parse_retry_after("3") == 3.0
+        assert _parse_retry_after(" 2.5 ") == 2.5
+        assert _parse_retry_after("0") == 0.0
+
+    def test_absent_or_unusable_values(self):
+        assert _parse_retry_after(None) is None
+        assert _parse_retry_after("soon") is None
+        assert _parse_retry_after("-1") is None
+        assert _parse_retry_after("Fri, 07 Aug 2026 00:00:00 GMT") is None
+
+
+class TestRetryAfterHonored:
+    def test_segmented_download_rides_out_a_flaky_origin(self):
+        """Every other origin hit 503s with Retry-After: 1; the client
+        re-issues each failed segment and still assembles the file."""
+        report = SegmentedDownloader(_flaky_deployment(), segments=3).download(
+            "/file.bin"
+        )
+        assert report.content == CONTENT
+        assert report.retries == 3  # one per segment
+        assert report.waited_s == pytest.approx(3.0)
+        assert report.requests_sent == 7  # probe + 3 x (failed + retried)
+
+    def test_resuming_download_rides_out_a_flaky_origin(self):
+        report = ResumingDownload(
+            _flaky_deployment(), chunk_size=50_000
+        ).download("/file.bin")
+        assert report.content == CONTENT
+        assert report.retries == 2  # one per chunk
+        assert report.waited_s == pytest.approx(2.0)
+
+    def test_exhausted_budget_surfaces_the_error(self):
+        with pytest.raises(DownloadError, match="expected 206"):
+            SegmentedDownloader(
+                _flaky_deployment(), segments=3, retry_attempts=1
+            ).download("/file.bin")
+
+    def test_5xx_without_retry_after_is_final(self):
+        deployment = _flaky_deployment()
+        node = deployment.nodes[-1]
+        node.upstream.retry_after = None  # the FlakyOrigin wrapper
+        with pytest.raises(DownloadError, match="expected 206"):
+            SegmentedDownloader(deployment, segments=3).download("/file.bin")
+
+    def test_clean_path_reports_zero_retries(self):
+        report = SegmentedDownloader(_deployment(), segments=4).download(
+            "/file.bin"
+        )
+        assert report.retries == 0
+        assert report.waited_s == 0.0
+
+    def test_invalid_retry_attempts(self):
+        with pytest.raises(ValueError):
+            SegmentedDownloader(_deployment(), retry_attempts=0)
+        with pytest.raises(ValueError):
+            ResumingDownload(_deployment(), retry_attempts=0)
 
 
 class TestHttp2Framing:

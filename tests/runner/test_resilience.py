@@ -1,0 +1,172 @@
+"""Runner degradation: cell retries, crash containment, failure chains."""
+
+import os
+import signal
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runner import RETRIES_ENV, GridRunner, resolve_cell_retries
+from repro.runner.executor import WORKER_CRASH, CellFailure
+from repro.runner.grid import ExperimentCell, ExperimentGrid
+from repro.runner.experiments import register
+
+_FLAKY_FAILURES = {}
+
+
+def _run_flaky(cell):
+    """Fails until its per-key budget is spent (serial/in-process only)."""
+    key = cell.key
+    budget = cell.kwargs()["failures"]
+    seen = _FLAKY_FAILURES.get(key, 0)
+    if seen < budget:
+        _FLAKY_FAILURES[key] = seen + 1
+        raise ConnectionError(f"transient {seen + 1}/{budget}")
+    return "recovered"
+
+
+def _run_crash(cell):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _run_echo(cell):
+    return cell.key[1]
+
+
+register("flaky-res", _run_flaky)
+register("crash-res", _run_crash)
+register("echo-res", _run_echo)
+
+
+def _flaky_cell(name, failures):
+    return ExperimentCell.make("flaky-res", ("flaky", name), failures=failures)
+
+
+class TestCellRetries:
+    def setup_method(self):
+        _FLAKY_FAILURES.clear()
+
+    def test_retries_recover_a_transient_failure(self):
+        grid = ExperimentGrid("flaky", [_flaky_cell("a", 2)])
+        result = GridRunner(workers=1, cell_retries=2, retry_backoff_s=0.0).run(grid)
+        assert result.outcomes[0].ok
+        assert result.outcomes[0].value == "recovered"
+        assert result.outcomes[0].attempts == 3
+
+    def test_zero_retries_fail_immediately(self):
+        grid = ExperimentGrid("flaky", [_flaky_cell("b", 1)])
+        result = GridRunner(workers=1, cell_retries=0).run(grid)
+        assert not result.outcomes[0].ok
+        assert result.outcomes[0].failure.exception_type == "ConnectionError"
+        assert result.outcomes[0].attempts == 1
+
+    def test_budget_exhaustion_keeps_the_last_failure(self):
+        grid = ExperimentGrid("flaky", [_flaky_cell("c", 5)])
+        result = GridRunner(workers=1, cell_retries=2, retry_backoff_s=0.0).run(grid)
+        assert not result.outcomes[0].ok
+        assert result.outcomes[0].attempts == 3
+        assert "3/5" in result.outcomes[0].failure.message
+
+
+class TestRetriesResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "7")
+        assert resolve_cell_retries(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "4")
+        assert resolve_cell_retries() == 4
+
+    def test_default_is_zero(self, monkeypatch):
+        monkeypatch.delenv(RETRIES_ENV, raising=False)
+        assert resolve_cell_retries() == 0
+
+    def test_negative_explicit_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_cell_retries(-1)
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "many")
+        with pytest.raises(ReproError):
+            resolve_cell_retries()
+
+
+class TestWorkerCrashContainment:
+    def test_crasher_is_contained_and_innocents_complete(self):
+        grid = ExperimentGrid(
+            "crashy",
+            [
+                ExperimentCell.make("echo-res", ("e", 1)),
+                ExperimentCell.make("crash-res", ("kill",)),
+                ExperimentCell.make("echo-res", ("e", 2)),
+                ExperimentCell.make("echo-res", ("e", 3)),
+            ],
+        )
+        result = GridRunner(workers=2).run(grid)
+        by_label = {o.cell.label: o for o in result.outcomes}
+        crashed = by_label["crash-res[kill]"]
+        assert not crashed.ok
+        assert crashed.failure.exception_type == WORKER_CRASH
+        for label, outcome in by_label.items():
+            if label != "crash-res[kill]":
+                assert outcome.ok, f"{label} should have survived the broken pool"
+
+    def test_restart_budget_exhaustion_aborts(self):
+        grid = ExperimentGrid(
+            "crashy", [ExperimentCell.make("crash-res", ("kill", i)) for i in range(2)]
+        )
+        with pytest.raises(ReproError, match="pool broke"):
+            GridRunner(workers=2, max_pool_restarts=0).run(grid)
+
+
+class TestCellFailureChain:
+    def test_cause_chain_is_captured(self):
+        try:
+            try:
+                raise KeyError("missing-vendor")
+            except KeyError as inner:
+                raise ValueError("bad cell config") from inner
+        except ValueError as error:
+            failure = CellFailure.from_exception(error)
+        assert failure.exception_type == "ValueError"
+        assert len(failure.chain) == 2
+        assert failure.chain[0].startswith("ValueError")
+        assert failure.chain[1].startswith("KeyError")
+        assert "root cause: KeyError" in failure.describe()
+
+    def test_implicit_context_is_followed(self):
+        try:
+            try:
+                raise OSError("disk gone")
+            except OSError:
+                raise RuntimeError("while handling")  # no 'from'
+        except RuntimeError as error:
+            failure = CellFailure.from_exception(error)
+        assert failure.chain[-1].startswith("OSError")
+
+    def test_suppressed_context_is_not_followed(self):
+        try:
+            try:
+                raise OSError("disk gone")
+            except OSError:
+                raise RuntimeError("clean slate") from None
+        except RuntimeError as error:
+            failure = CellFailure.from_exception(error)
+        assert len(failure.chain) == 1
+        assert failure.describe() == "RuntimeError: clean slate"
+
+    def test_cyclic_chain_terminates(self):
+        error = ValueError("self-caused")
+        error.__cause__ = error
+        failure = CellFailure.from_exception(error)
+        assert failure.chain == ("ValueError: self-caused",)
+
+    def test_chain_survives_pickling_in_equality(self):
+        import pickle
+
+        try:
+            raise ValueError("x")
+        except ValueError as error:
+            failure = CellFailure.from_exception(error)
+        clone = pickle.loads(pickle.dumps(failure))
+        assert clone == failure
