@@ -11,11 +11,23 @@ Two independent passes (ISSUE 3):
 * **Code analysis** — :mod:`repro.analysis.lint` is an AST linter that
   enforces the repo's wire-accounting and typing invariants; it backs the
   ``repro lint`` CLI command and a pytest guard.
+* **Defense recommendations** — :func:`~repro.analysis.recommend.recommend`
+  turns the findings into the cheapest sufficient mitigation per
+  vulnerable vendor/cascade, with residual bounds and dynamic
+  cross-validation (``repro recommend``).
 """
 
 from __future__ import annotations
 
-from repro.analysis.bounds import ObrBound, SbrBound, obr_bound, sbr_bound, static_max_n
+from repro.analysis.bounds import (
+    ObrBound,
+    ProfileFactory,
+    SbrBound,
+    obr_bound,
+    profile_sbr_bound,
+    sbr_bound,
+    static_max_n,
+)
 from repro.analysis.classify import (
     CascadeClassification,
     ObrBackendFacts,
@@ -25,6 +37,16 @@ from repro.analysis.classify import (
     classify_obr_backend,
     classify_obr_frontend,
     classify_sbr,
+)
+from repro.analysis.recommend import (
+    MitigationOption,
+    MitigationSpec,
+    Recommendation,
+    RecommendationReport,
+    VerificationCheck,
+    recommend,
+    render_recommendations_table,
+    verify_recommendations,
 )
 from repro.analysis.report import (
     AnalysisReport,
@@ -38,11 +60,17 @@ __all__ = [
     "AnalysisReport",
     "CascadeClassification",
     "Finding",
+    "MitigationOption",
+    "MitigationSpec",
     "ObrBackendFacts",
     "ObrBound",
     "ProbeDecision",
+    "ProfileFactory",
+    "Recommendation",
+    "RecommendationReport",
     "SbrBound",
     "SbrClassification",
+    "VerificationCheck",
     "analyze_deployment",
     "analyze_vendor_matrix",
     "classify_cascade",
@@ -50,7 +78,11 @@ __all__ = [
     "classify_obr_frontend",
     "classify_sbr",
     "obr_bound",
+    "profile_sbr_bound",
+    "recommend",
     "render_findings_table",
+    "render_recommendations_table",
     "sbr_bound",
     "static_max_n",
+    "verify_recommendations",
 ]

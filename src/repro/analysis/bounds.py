@@ -19,17 +19,27 @@ subtracted), so the ratio can only be pessimistic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from repro.cdn.multirange import MultiRangeReplyBehavior
 from repro.cdn.vendors import create_profile
 from repro.cdn.vendors.azure import DEFAULT_ABORT_SLOP, EIGHT_MB, WINDOW_LAST
-from repro.cdn.vendors.base import VendorContext
+from repro.cdn.vendors.base import VendorContext, VendorProfile
 from repro.cdn.vendors.cloudfront import MULTI_RANGE_WINDOW_CAP
-from repro.errors import ConfigurationError, RequestRejectedError
+from repro.errors import (
+    ConfigurationError,
+    RangeNotSatisfiableError,
+    RequestRejectedError,
+)
 from repro.http.grammar import overlapping_open_ranges_value
 from repro.http.message import HttpRequest
-from repro.http.ranges import try_parse_range_header
+from repro.http.ranges import RangeSpecifier, try_parse_range_header
 from repro.netsim.overhead import NullOverheadModel, OverheadModel, TcpOverheadModel
+
+#: Builds a fresh profile instance (profiles are stateful).  Bound
+#: functions accept one so the same closed forms can be re-run under a
+#: wrapped/mitigated profile (``repro.analysis.recommend``).
+ProfileFactory = Callable[[], VendorProfile]
 
 MB = 1 << 20
 
@@ -52,6 +62,15 @@ PAD_HEADER_SLACK = 40
 #: Absolute floor on any HTTP response's wire size (status line plus the
 #: mandatory headers every node emits).
 RESPONSE_WIRE_FLOOR = 64
+
+#: Per-part framing allowance for an origin ``multipart/byteranges``
+#: reply to a lazily forwarded multi-range request.  The Apache-like
+#: origin's actual per-part overhead (13-hex-digit boundary, Content-Type
+#: and Content-Range lines) stays under 120 bytes; 256 leaves slack.
+MULTIPART_PART_ALLOWANCE = 256
+
+#: Closing delimiter allowance for such a multipart reply.
+MULTIPART_CLOSER_ALLOWANCE = 64
 
 
 @dataclass(frozen=True)
@@ -108,7 +127,21 @@ def sbr_bound(
     model = overhead if overhead is not None else NullOverheadModel()
     cases = exploited_range_cases(vendor, resource_size)
     fetches = _fetch_plan(vendor, resource_size)
+    header_target = type(create_profile(vendor)).client_header_block_target
+    return _assemble_sbr_bound(
+        vendor, resource_size, cases, fetches, header_target, model
+    )
 
+
+def _assemble_sbr_bound(
+    vendor: str,
+    resource_size: int,
+    cases: List[str],
+    fetches: List[_Fetch],
+    header_block_target: int,
+    model: OverheadModel,
+) -> SbrBound:
+    """Fold a fetch plan into the over/under-estimated bound ratio."""
     origin_upper = 0
     for fetch in fetches:
         sent = (
@@ -120,10 +153,9 @@ def sbr_bound(
             sent = min(sent, fetch.payload_cap + ORIGIN_HEADER_ALLOWANCE)
         origin_upper += sent
 
-    profile_cls = type(create_profile(vendor))
     per_response = max(
         RESPONSE_WIRE_FLOOR,
-        profile_cls.client_header_block_target - PAD_HEADER_SLACK,
+        header_block_target - PAD_HEADER_SLACK,
     )
     client_lower = len(cases) * per_response
 
@@ -136,6 +168,103 @@ def sbr_bound(
         client_responses=len(cases),
         client_bytes_lower=client_lower,
     )
+
+
+def profile_sbr_bound(
+    vendor: str,
+    profile_factory: ProfileFactory,
+    resource_size: int,
+    overhead: Optional[OverheadModel] = None,
+) -> SbrBound:
+    """Worst-case SBR bound for ``vendor``'s exploited cases replayed
+    against a *substituted* profile (the mitigation residual).
+
+    The fetch plan is derived from the substituted profile's own
+    ``forward_decision`` table: a lazily forwarded range costs the origin
+    only the requested bytes, an expanded range costs the expanded
+    window, and a deleted Range header costs the full representation.
+    ``SlicingProfile`` fetch flows are bounded by their slice arithmetic.
+
+    Soundness scope: profiles using the base single-connection fetch
+    flow (every ``repro.defense.mitigations`` wrapper qualifies — the
+    multi-connection vendor quirks are exactly what the mitigations
+    remove).  Raw registry profiles with custom fetch flows (Azure,
+    KeyCDN, StackPath) are *not* admissible here; use :func:`sbr_bound`.
+    """
+    from repro.core.sbr import exploited_range_cases
+
+    model = overhead if overhead is not None else NullOverheadModel()
+    cases = exploited_range_cases(vendor, resource_size)
+    profile = profile_factory()
+    # One decision per case on one instance, mirroring the request order
+    # a single attack round replays against a single edge node.
+    fetches = [_decision_fetch(profile, case, resource_size) for case in cases]
+    return _assemble_sbr_bound(
+        vendor,
+        resource_size,
+        cases,
+        fetches,
+        profile.client_header_block_target,
+        model,
+    )
+
+
+def _decision_fetch(
+    profile: VendorProfile, range_value: str, resource_size: int
+) -> _Fetch:
+    """Upper-bound one exploited case's origin payload under ``profile``."""
+    from repro.cdn.vendors.base import SpecShape, classify_spec
+    from repro.defense.mitigations import SlicingProfile
+
+    spec = try_parse_range_header(range_value)
+    if spec is None:
+        return _Fetch(payload_upper=resource_size)
+
+    if isinstance(profile, SlicingProfile):
+        if classify_spec(spec) is SpecShape.SINGLE_CLOSED:
+            try:
+                resolved = spec.resolve(resource_size)
+            except RangeNotSatisfiableError:
+                return _Fetch(payload_upper=0)
+            only = resolved[0]
+            size = profile.slice_size
+            count = only.end // size - only.start // size + 1
+            return _Fetch(payload_upper=min(count * size, resource_size))
+        # Open/suffix/multi shapes fall through to the lazy base flow.
+        return _lazy_payload_fetch(spec, resource_size)
+
+    request = HttpRequest(
+        "GET",
+        "/target.bin",
+        headers=[("Host", "victim.example"), ("Range", range_value)],
+    )
+    ctx = VendorContext(
+        config=profile.effective_config(), resource_size_hint=resource_size
+    )
+    decision = profile.forward_decision(request, spec, ctx)
+    if decision.forwarded_range is None:
+        # Deletion: the origin ships the full representation.
+        return _Fetch(payload_upper=resource_size)
+    forwarded = try_parse_range_header(decision.forwarded_range)
+    if forwarded is None:
+        return _Fetch(payload_upper=resource_size)
+    return _lazy_payload_fetch(forwarded, resource_size)
+
+
+def _lazy_payload_fetch(spec: RangeSpecifier, resource_size: int) -> _Fetch:
+    """Origin payload for a Range header forwarded as ``spec``: the
+    resolved bytes plus multipart framing when more than one part."""
+    try:
+        resolved = spec.resolve(resource_size)
+    except RangeNotSatisfiableError:
+        # The origin answers 416: headers only.
+        return _Fetch(payload_upper=0)
+    payload = sum(r.length for r in resolved)
+    if len(resolved) > 1:
+        payload += (
+            len(resolved) * MULTIPART_PART_ALLOWANCE + MULTIPART_CLOSER_ALLOWANCE
+        )
+    return _Fetch(payload_upper=payload)
 
 
 def _fetch_plan(vendor: str, resource_size: int) -> List[_Fetch]:
@@ -284,6 +413,8 @@ def static_max_n(
     host: str = "victim.example",
     lower: int = 2,
     upper: int = 32768,
+    fcdn_profile: Optional[ProfileFactory] = None,
+    bcdn_profile: Optional[ProfileFactory] = None,
 ) -> int:
     """The largest forwarded-unchanged ``n``, from pure limit checks.
 
@@ -294,6 +425,9 @@ def static_max_n(
     the forwarded request, and the BCDN's reply-part cap admits ``n``
     parts.  These are exactly the rejection points of the simulated
     probe, so the two searches agree on every exploitable cascade.
+
+    ``fcdn_profile`` / ``bcdn_profile`` substitute wrapped (mitigated)
+    profiles for the named registry vendors on either side.
     """
     if fcdn == bcdn:
         raise ConfigurationError(
@@ -301,7 +435,16 @@ def static_max_n(
         )
 
     def admits(n: int) -> bool:
-        return _static_probe(fcdn, bcdn, n, resource_size, resource_path, host)
+        return _static_probe(
+            fcdn,
+            bcdn,
+            n,
+            resource_size,
+            resource_path,
+            host,
+            fcdn_profile=fcdn_profile,
+            bcdn_profile=bcdn_profile,
+        )
 
     if not admits(lower):
         return 0
@@ -324,6 +467,8 @@ def _static_probe(
     resource_size: int,
     resource_path: str,
     host: str,
+    fcdn_profile: Optional[ProfileFactory] = None,
+    bcdn_profile: Optional[ProfileFactory] = None,
 ) -> bool:
     """Would a request with ``overlap_count`` ranges survive end-to-end?"""
     from repro.core.obr import exploited_fcdn_config, exploited_leading_spec
@@ -335,10 +480,10 @@ def _static_probe(
         "GET", resource_path, headers=[("Host", host), ("Range", range_value)]
     )
 
-    front = create_profile(fcdn)
+    front = fcdn_profile() if fcdn_profile is not None else create_profile(fcdn)
     config = exploited_fcdn_config(fcdn)
     ctx = VendorContext(
-        config=config if config is not None else type(front).default_config(),
+        config=config if config is not None else front.effective_config(),
         resource_size_hint=resource_size,
     )
     try:
@@ -352,12 +497,12 @@ def _static_probe(
         return False
 
     upstream = front.build_upstream_request(request, decision)
-    back = create_profile(bcdn)
+    back = bcdn_profile() if bcdn_profile is not None else create_profile(bcdn)
     try:
         back.limits.check(upstream)
     except RequestRejectedError:
         return False
-    max_parts = type(back).reply_max_parts
+    max_parts = back.reply_max_parts
     if max_parts is not None and overlap_count > max_parts:
         return False
     return True
@@ -370,30 +515,46 @@ def obr_bound(
     overlap_count: Optional[int] = None,
     content_type: str = "application/octet-stream",
     overhead: Optional[OverheadModel] = None,
+    fcdn_profile: Optional[ProfileFactory] = None,
+    bcdn_profile: Optional[ProfileFactory] = None,
 ) -> ObrBound:
     """Closed-form worst-case OBR amplification for one cascade.
 
     ``overlap_count=None`` runs the static max-n search first, mirroring
     :meth:`~repro.core.obr.ObrAttack.run`.  The default overhead model is
     the same capture-like TCP framing the simulated attack uses.
+
+    ``fcdn_profile`` / ``bcdn_profile`` substitute wrapped (mitigated)
+    profiles.  A coalescing back end (``with_overlap_rejection``,
+    ``with_slicing``) merges the attack's pairwise-overlapping ranges
+    into a single part, so the part count drops to one.
     """
     model = overhead if overhead is not None else TcpOverheadModel()
     n = (
         overlap_count
         if overlap_count is not None
-        else static_max_n(fcdn, bcdn, resource_size=resource_size)
+        else static_max_n(
+            fcdn,
+            bcdn,
+            resource_size=resource_size,
+            fcdn_profile=fcdn_profile,
+            bcdn_profile=bcdn_profile,
+        )
     )
     if n < 1:
         raise ConfigurationError(
             f"{fcdn} -> {bcdn} admits no overlapping ranges"
         )
 
-    back_cls = type(create_profile(bcdn))
-    boundary = back_cls.multipart_boundary
+    back = bcdn_profile() if bcdn_profile is not None else create_profile(bcdn)
+    boundary = back.multipart_boundary
     part_overhead = _part_overhead_upper(boundary, content_type, resource_size)
     closer = len(boundary) + 6  # "--" + boundary + "--" + CRLF
-    body_upper = n * (resource_size + part_overhead) + closer
-    header_upper = max(back_cls.client_header_block_target, 0) + CDN_HEADER_ALLOWANCE
+    # The exploited shapes' ranges all pairwise overlap, so any reply
+    # behavior other than HONOR collapses them into one part.
+    parts = n if back.reply_behavior is MultiRangeReplyBehavior.HONOR else 1
+    body_upper = parts * (resource_size + part_overhead) + closer
+    header_upper = max(back.client_header_block_target, 0) + CDN_HEADER_ALLOWANCE
 
     victim_upper = (
         model.framed_size(header_upper + body_upper) + model.connection_setup_bytes()
@@ -429,14 +590,18 @@ def _part_overhead_upper(boundary: str, content_type: str, resource_size: int) -
 
 __all__ = [
     "CDN_HEADER_ALLOWANCE",
+    "MULTIPART_CLOSER_ALLOWANCE",
+    "MULTIPART_PART_ALLOWANCE",
     "ORIGIN_HEADER_ALLOWANCE",
     "PAD_HEADER_SLACK",
     "RESPONSE_WIRE_FLOOR",
     "FaultedSbrBound",
     "ObrBound",
+    "ProfileFactory",
     "SbrBound",
     "faulted_sbr_bound",
     "obr_bound",
+    "profile_sbr_bound",
     "sbr_bound",
     "static_max_n",
 ]

@@ -23,14 +23,19 @@ measuring anything.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.cdn.multirange import MultiRangeReplyBehavior
 from repro.cdn.policy import ForwardPolicy
 from repro.cdn.vendors import create_profile
-from repro.cdn.vendors.base import VendorConfig, VendorContext
+from repro.cdn.vendors.base import VendorConfig, VendorContext, VendorProfile
 from repro.http.message import HttpRequest
 from repro.http.ranges import try_parse_range_header
+
+#: Builds a fresh profile per probe (profiles are stateful).  Passing one
+#: lets every classification run against a wrapped/mitigated profile
+#: instead of the registry vendor it names.
+ProfileFactory = Callable[[], VendorProfile]
 
 MB = 1 << 20
 
@@ -82,11 +87,12 @@ def probe_decision(
     range_value: str,
     resource_size: int,
     config: Optional[VendorConfig] = None,
+    profile_factory: Optional[ProfileFactory] = None,
 ) -> ProbeDecision:
     """Ask a fresh profile for its first-sighting forwarding decision."""
-    profile = create_profile(vendor)
+    profile = profile_factory() if profile_factory is not None else create_profile(vendor)
     ctx = VendorContext(
-        config=config if config is not None else type(profile).default_config(),
+        config=config if config is not None else profile.effective_config(),
         resource_size_hint=resource_size,
     )
     decision = profile.forward_decision(
@@ -105,12 +111,13 @@ def second_request_decision(
     range_value: str,
     resource_size: int,
     config: Optional[VendorConfig] = None,
+    profile_factory: Optional[ProfileFactory] = None,
 ) -> ProbeDecision:
     """The decision for the *second identical* request on one profile
     instance (KeyCDN's second-sighting Deletion)."""
-    profile = create_profile(vendor)
+    profile = profile_factory() if profile_factory is not None else create_profile(vendor)
     ctx = VendorContext(
-        config=config if config is not None else type(profile).default_config(),
+        config=config if config is not None else profile.effective_config(),
         resource_size_hint=resource_size,
     )
     request = _probe_request(range_value)
@@ -162,26 +169,38 @@ def classify_sbr(
     vendor: str,
     resource_sizes: Tuple[int, ...] = DEFAULT_PROBE_SIZES,
     config: Optional[VendorConfig] = None,
+    profile_factory: Optional[ProfileFactory] = None,
 ) -> SbrClassification:
-    """Statically classify one vendor's SBR susceptibility (Table I)."""
-    profile_cls = type(create_profile(vendor))
+    """Statically classify one vendor's SBR susceptibility (Table I).
+
+    ``profile_factory`` substitutes a wrapped profile (e.g. a
+    ``MitigatedProfile``) for the registry vendor — the recommendation
+    engine uses this to prove a mitigation removes the classification.
+    """
+    exemplar = (
+        profile_factory() if profile_factory is not None else create_profile(vendor)
+    )
     amplifying = []
     stateful = []
     for size in resource_sizes:
         for shape in SINGLE_RANGE_SHAPES:
-            first = probe_decision(vendor, shape, size, config=config)
+            first = probe_decision(
+                vendor, shape, size, config=config, profile_factory=profile_factory
+            )
             if first.amplifying:
                 amplifying.append(first)
                 continue
-            second = second_request_decision(vendor, shape, size, config=config)
+            second = second_request_decision(
+                vendor, shape, size, config=config, profile_factory=profile_factory
+            )
             if second.amplifying:
                 stateful.append(second)
     return SbrClassification(
         vendor=vendor,
-        display_name=profile_cls.display_name,
+        display_name=exemplar.display_name,
         amplifying_probes=tuple(amplifying),
         stateful_probes=tuple(stateful),
-        fetch_flow_amplifies=profile_cls.amplifies_via_fetch_flow,
+        fetch_flow_amplifies=exemplar.amplifies_via_fetch_flow,
     )
 
 

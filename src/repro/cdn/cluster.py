@@ -59,7 +59,7 @@ class EdgeCluster(HttpHandler):
         self.nodes: List[CdnNode] = []
         for index in range(node_count):
             profile = create_profile(vendor)
-            node_config = config if config is not None else type(profile).default_config()
+            node_config = config if config is not None else profile.effective_config()
             self.nodes.append(
                 CdnNode(
                     profile=profile,

@@ -71,7 +71,7 @@ class CdnNode(HttpHandler):
         self.upstream = upstream
         self.ledger = ledger if ledger is not None else TrafficLedger()
         self.upstream_segment = upstream_segment
-        self.config = config if config is not None else type(profile).default_config()
+        self.config = config if config is not None else profile.effective_config()
         cache_enabled = self.config.cache_enabled and not self.config.bypass_cache
         self.cache = cache if cache is not None else CdnCache(enabled=cache_enabled)
         self.size_hint_fn = size_hint_fn

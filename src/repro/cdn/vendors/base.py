@@ -173,6 +173,17 @@ class VendorProfile:
         experiments with defaults)."""
         return VendorConfig()
 
+    def effective_config(self) -> VendorConfig:
+        """The configuration a deployment applies when none is given.
+
+        For registry profiles this is just :meth:`default_config`;
+        wrapper profiles (``repro.defense.mitigations``) override it to
+        return the *wrapped* vendor's default, so a mitigated profile
+        survives round-trips through deployment and grid construction
+        with the inner vendor's configuration intact.
+        """
+        return type(self).default_config()
+
     def default_limits(self) -> HeaderLimits:
         return HeaderLimits()
 

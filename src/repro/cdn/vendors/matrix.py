@@ -69,7 +69,7 @@ def behavior_matrix(
         row: Dict[str, MatrixCell] = {}
         for shape, (range_value, size) in PROBE_CASES.items():
             profile = create_profile(vendor)
-            config = overrides.get(vendor, type(profile).default_config())
+            config = overrides.get(vendor, profile.effective_config())
             decision = profile.forward_decision(
                 _request(range_value),
                 try_parse_range_header(range_value),
@@ -87,7 +87,7 @@ def stateful_second_request_policies() -> Dict[str, ForwardPolicy]:
     results: Dict[str, ForwardPolicy] = {}
     for vendor in all_vendor_names():
         profile = create_profile(vendor)
-        ctx = VendorContext(config=type(profile).default_config(), resource_size_hint=MB)
+        ctx = VendorContext(config=profile.effective_config(), resource_size_hint=MB)
         request = _request("bytes=0-0")
         spec = try_parse_range_header("bytes=0-0")
         profile.forward_decision(request, spec, ctx)

@@ -96,6 +96,42 @@ def _build_parser() -> argparse.ArgumentParser:
              "each vendor's back-to-origin attempt budget)",
     )
 
+    recommend = commands.add_parser(
+        "recommend",
+        help="recommend the cheapest sufficient mitigation per vulnerable "
+             "finding, with residual worst-case bounds",
+    )
+    recommend.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="output format (default: table)",
+    )
+    recommend.add_argument(
+        "--threshold", type=float, default=None, metavar="F",
+        help="residual factor a mitigation must stay under to qualify "
+             "(default: 10.0, the low-severity boundary)",
+    )
+    recommend.add_argument(
+        "--size-mb", type=int, default=10,
+        help="SBR resource size in MB the residual bounds assume "
+             "(default: 10)",
+    )
+    recommend.add_argument(
+        "--obr-size", type=int, default=1024,
+        help="OBR resource size in bytes the residual bounds assume "
+             "(default: 1024)",
+    )
+    recommend.add_argument(
+        "--with-retries", action="store_true",
+        help="also report the retry-aware residual factor per option "
+             "(informational; sufficiency is judged on the clean residual)",
+    )
+    recommend.add_argument(
+        "--verify", action="store_true",
+        help="cross-validate each recommendation dynamically: simulate "
+             "the attack under the mitigated profile on a quick grid and "
+             "check sim <= residual bound",
+    )
+
     lint = commands.add_parser(
         "lint",
         help="check source files against the repo's wire-accounting "
@@ -477,6 +513,11 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
                 ],
             )
         )
+    if report.table7_recommendations is not None:
+        from repro.analysis.recommend import render_recommendations_table
+
+        print("\nTable VII - Defense recommendations (static residual bounds):")
+        print(render_recommendations_table(report.table7_recommendations))
     print("\nFig 6a - SBR factor vs size:")
     for series in report.fig6:
         print(f"  {series.vendor:<12} {render_sparkline(series.factors, width=40)}")
@@ -543,6 +584,58 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.analysis.recommend import (
+        DEFAULT_THRESHOLD,
+        recommend,
+        render_recommendations_table,
+        verify_recommendations,
+    )
+
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    report = recommend(
+        resource_size=args.size_mb * MB,
+        obr_resource_size=args.obr_size,
+        threshold=threshold,
+        with_retries=args.with_retries,
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(render_recommendations_table(report))
+        print(
+            f"\n{len(report.by_kind('sbr'))} SBR and {len(report.by_kind('obr'))} "
+            f"OBR finding(s); threshold {threshold:g}x "
+            f"(bounds at {args.size_mb}MB SBR / {args.obr_size}B OBR)"
+        )
+        if report.unresolved:
+            for recommendation in report.unresolved:
+                print(
+                    f"UNRESOLVED: {recommendation.subject} — no mitigation "
+                    f"stays under {threshold:g}x"
+                )
+    if not report.all_resolved:
+        return 1
+    if args.verify:
+        checks = verify_recommendations(report)
+        failures = [check for check in checks if not check.ok]
+        if args.format != "json":
+            print(
+                f"verified {len(checks)} simulated check(s): "
+                f"{len(checks) - len(failures)} ok, {len(failures)} failed"
+            )
+        for check in failures:
+            print(
+                f"VERIFY FAIL: {check.subject} under {check.mitigation} at "
+                f"{check.resource_size}B: simulated {check.simulated_factor:.3f}x "
+                f"> residual bound {check.residual_bound:.3f}x",
+                file=sys.stderr,
+            )
+        if failures:
+            return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import lint_paths, lint_repo
 
@@ -585,6 +678,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_scenario(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "recommend":
+            return _cmd_recommend(args)
         if args.command == "lint":
             return _cmd_lint(args)
         if args.command == "matrix":

@@ -108,7 +108,7 @@ class Deployment:
         for index in range(len(specs) - 1, -1, -1):
             spec = specs[index]
             profile = spec.build_profile()
-            config = spec.config if spec.config is not None else type(profile).default_config()
+            config = spec.config if spec.config is not None else profile.effective_config()
             node = CdnNode(
                 profile=profile,
                 upstream=upstream,

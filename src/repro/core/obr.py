@@ -21,7 +21,7 @@ bcdn–origin responses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.core.amplification import AmplificationReport
 from repro.core.deployment import CdnSpec, Deployment
@@ -36,6 +36,7 @@ from repro.obs.tracer import current_tracer
 from repro.origin.server import OriginServer
 
 if TYPE_CHECKING:
+    from repro.cdn.vendors.base import VendorProfile
     from repro.runner.grid import ExperimentGrid
 
 
@@ -101,6 +102,8 @@ class ObrAttack:
         overhead: Optional[OverheadModel] = None,
         host: str = "victim.example",
         client_abort_after: Optional[int] = 2048,
+        fcdn_profile_factory: Optional[Callable[[], "VendorProfile"]] = None,
+        bcdn_profile_factory: Optional[Callable[[], "VendorProfile"]] = None,
     ) -> None:
         if fcdn == bcdn:
             raise ConfigurationError(
@@ -114,6 +117,10 @@ class ObrAttack:
         self.overhead = overhead if overhead is not None else TcpOverheadModel()
         self.host = host
         self.client_abort_after = client_abort_after
+        # Mitigated-profile substitution on either side of the cascade
+        # (fresh instance per deployment; profiles are stateful).
+        self.fcdn_profile_factory = fcdn_profile_factory
+        self.bcdn_profile_factory = bcdn_profile_factory
 
     # -- deployment -----------------------------------------------------------
 
@@ -122,8 +129,17 @@ class ObrAttack:
         # receives a full 200 and builds the multipart itself.
         origin = OriginServer(range_support=False)
         origin.add_synthetic_resource(self.resource_path, self.resource_size)
-        fcdn_spec = CdnSpec(vendor=self.fcdn, config=self._fcdn_config())
-        bcdn_spec = CdnSpec(vendor=self.bcdn)
+        if self.fcdn_profile_factory is not None:
+            fcdn_spec = CdnSpec(
+                profile=self.fcdn_profile_factory(),
+                config=self._fcdn_config(),
+            )
+        else:
+            fcdn_spec = CdnSpec(vendor=self.fcdn, config=self._fcdn_config())
+        if self.bcdn_profile_factory is not None:
+            bcdn_spec = CdnSpec(profile=self.bcdn_profile_factory())
+        else:
+            bcdn_spec = CdnSpec(vendor=self.bcdn)
         return Deployment.cascade(fcdn_spec, bcdn_spec, origin, overhead=self.overhead)
 
     def _fcdn_config(self) -> Optional[VendorConfig]:

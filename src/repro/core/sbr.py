@@ -15,7 +15,7 @@ size (Azure, Huawei) and KeyCDN's send-it-twice pattern.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.core.amplification import AmplificationReport
 from repro.core.cachebusting import CacheBuster
@@ -27,6 +27,7 @@ from repro.obs.tracer import current_tracer
 from repro.origin.server import OriginServer
 
 if TYPE_CHECKING:
+    from repro.cdn.vendors.base import VendorProfile
     from repro.runner.grid import ExperimentGrid
 
 MB = 1 << 20
@@ -95,6 +96,12 @@ class SbrAttack:
 
     Each :meth:`run` builds a *fresh* deployment (fresh caches, fresh
     ledger) so results are independent and repeatable.
+
+    ``profile_factory`` substitutes a wrapped profile (e.g. a
+    ``MitigatedProfile``) for the registry vendor while keeping the
+    vendor's exploited range cases — the recommendation engine's
+    before/after measurement.  A factory rather than an instance because
+    every :meth:`run` needs a fresh profile (profiles are stateful).
     """
 
     def __init__(
@@ -105,6 +112,7 @@ class SbrAttack:
         config: Optional[object] = None,
         overhead: Optional[OverheadModel] = None,
         host: str = "victim.example",
+        profile_factory: Optional[Callable[[], "VendorProfile"]] = None,
     ) -> None:
         self.vendor = vendor
         self.resource_size = resource_size
@@ -112,11 +120,18 @@ class SbrAttack:
         self.config = config
         self.overhead = overhead
         self.host = host
+        self.profile_factory = profile_factory
 
     def build_deployment(self) -> Deployment:
         origin = OriginServer()
         origin.add_synthetic_resource(self.resource_path, self.resource_size)
-        spec = CdnSpec(vendor=self.vendor, config=self.config)  # type: ignore[arg-type]
+        if self.profile_factory is not None:
+            spec = CdnSpec(
+                profile=self.profile_factory(),
+                config=self.config,  # type: ignore[arg-type]
+            )
+        else:
+            spec = CdnSpec(vendor=self.vendor, config=self.config)  # type: ignore[arg-type]
         return Deployment.single(spec, origin, overhead=self.overhead)
 
     def run(self, rounds: int = 1, range_cases: Optional[List[str]] = None) -> SbrResult:

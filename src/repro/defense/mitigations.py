@@ -135,8 +135,20 @@ class MitigatedProfile(VendorProfile):
         self.server_header = inner.server_header
 
     @classmethod
-    def default_config(cls) -> VendorConfig:  # pragma: no cover - config comes from inner
+    def default_config(cls) -> VendorConfig:
+        """Class-level fallback only: a bare :class:`MitigatedProfile`
+        class knows no inner vendor, so this is the base default.
+        Instance paths (deployment / grid construction / classification)
+        go through :meth:`effective_config`, which returns the wrapped
+        vendor's configuration."""
         return VendorProfile.default_config()
+
+    def effective_config(self) -> VendorConfig:
+        """The wrapped vendor's configuration — mitigated profiles must
+        round-trip through ``classify_sbr`` and deployment construction
+        with the inner vendor's config (Huawei's Range origin option,
+        Cloudflare's cacheability) intact."""
+        return self.inner.effective_config()
 
     def forward_decision(
         self,
@@ -231,6 +243,11 @@ class SlicingProfile(VendorProfile):
         self._slices: Dict[Tuple[str, str, int], Body] = {}
         #: Learned complete lengths: (host, target) -> int.
         self._lengths: Dict[Tuple[str, str], int] = {}
+
+    def effective_config(self) -> VendorConfig:
+        """The wrapped vendor's configuration (see
+        :meth:`MitigatedProfile.effective_config`)."""
+        return self.inner.effective_config()
 
     def fetch(
         self,

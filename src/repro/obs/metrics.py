@@ -41,11 +41,16 @@ FAULTS_INJECTED = "repro_faults_injected_total"
 FETCH_RETRIES = "repro_fetch_retries_total"
 RETRY_BACKOFF_SECONDS = "repro_retry_backoff_seconds_total"
 FETCH_ATTEMPTS = "repro_fetch_attempts"
+RECOMMENDATIONS = "repro_recommendations_total"
+RESIDUAL_FACTOR = "repro_residual_factor"
 
 #: Bucket bounds for the amplification-factor distribution (factors span
 #: ~1 to ~45000 across the paper's tables; roughly log-spaced).
 AMPLIFICATION_BUCKETS = (1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0,
                          10000.0, 50000.0)
+#: Bucket bounds for residual (post-mitigation) worst-case factors —
+#: recommendations live below ~10, so the low end is finely spaced.
+RESIDUAL_FACTOR_BUCKETS = (1.0, 2.0, 3.0, 5.0, 10.0, 50.0, 100.0, 1000.0)
 #: Bucket bounds for runner cell latency (seconds).
 CELL_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0)
 #: Bucket bounds for back-to-origin fetch attempt counts (the largest
@@ -369,6 +374,24 @@ class MetricsRegistry:
             "attempts per back-to-origin fetch",
             buckets=FETCH_ATTEMPT_BUCKETS,
         ).observe(attempts, vendor=vendor, outcome="ok" if ok else "exhausted")
+
+    def record_recommendation(
+        self, kind: str, mitigation: str, sufficient: bool, residual_factor: float
+    ) -> None:
+        """Count one defense recommendation and observe its residual."""
+        self.counter(
+            RECOMMENDATIONS, "defense recommendations by finding kind and outcome"
+        ).inc(
+            1,
+            kind=kind,
+            mitigation=mitigation,
+            outcome="sufficient" if sufficient else "insufficient",
+        )
+        self.histogram(
+            RESIDUAL_FACTOR,
+            "residual worst-case factors under recommended mitigations",
+            buckets=RESIDUAL_FACTOR_BUCKETS,
+        ).observe(residual_factor, kind=kind, mitigation=mitigation)
 
     def record_cell(self, experiment: str, seconds: float, ok: bool) -> None:
         self.counter(RUNNER_CELLS, "grid cells executed by status").inc(

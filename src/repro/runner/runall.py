@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.recommend import RecommendationReport
 from repro.cdn.vendors import all_vendor_names
 from repro.core.obr import vulnerable_combinations
 from repro.core.practical import flood_grid
@@ -68,6 +69,10 @@ class RunAllReport:
     fault_seed: Optional[int] = None
     #: Cells restored from a checkpoint instead of being re-run.
     restored_cells: int = 0
+    #: Defense recommendations (Table VII): cheapest sufficient
+    #: mitigation per vulnerable finding, statically derived, so the
+    #: artifact is deterministic across runs and resumes.
+    table7_recommendations: Optional[RecommendationReport] = None
 
     @property
     def speedup(self) -> float:
@@ -241,11 +246,24 @@ def run_all(
         for outcome in result
     )
 
+    # Table VII rides along: purely static (config probes + closed
+    # forms), so it costs ~a second, never touches the grid, and stays
+    # byte-identical between fresh and checkpoint-resumed runs.
+    from repro.analysis.recommend import recommend
+    from repro.analysis.report import analyze_vendor_matrix
+
+    def _recommendations() -> RecommendationReport:
+        return recommend(
+            report=analyze_vendor_matrix(
+                resource_size=10 * MB, obr_resource_size=1024, vendors=names
+            )
+        )
+
     spans: List[Any] = []
     events: List[Any] = []
     metrics: Dict[str, Any] = {}
     if collect_obs:
-        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.metrics import MetricsRegistry, use_metrics
 
         registry = MetricsRegistry()
         for outcome in result:
@@ -254,7 +272,11 @@ def run_all(
             spans.extend(outcome.obs.spans)
             events.extend(outcome.obs.events)
             registry.merge_snapshot(outcome.obs.metrics)
+        with use_metrics(registry):
+            recommendations = _recommendations()
         metrics = registry.snapshot()
+    else:
+        recommendations = _recommendations()
 
     return RunAllReport(
         table4=table4_rows_from_results(by_key, names, table4_sizes),
@@ -278,6 +300,7 @@ def run_all(
         ),
         fault_seed=fault_seed if faults else None,
         restored_cells=restored_cells,
+        table7_recommendations=recommendations,
     )
 
 
@@ -391,4 +414,15 @@ def write_report(
             ],
         ),
     )
+    if report.table7_recommendations is not None:
+        from repro.analysis.recommend import render_recommendations_table
+
+        _write(
+            "table7_recommendations.txt",
+            render_recommendations_table(report.table7_recommendations),
+        )
+        _write(
+            "table7_recommendations.json",
+            report.table7_recommendations.to_json(),
+        )
     return written

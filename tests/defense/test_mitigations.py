@@ -163,6 +163,41 @@ class TestRfc7233Guard:
         assert guard(HttpRequest("GET", "/x", headers=[("Host", "h")])) is None
 
 
+class TestConfigRoundTrip:
+    """Mitigated profiles must survive round-trips through deployment and
+    classification with the *inner* vendor's configuration intact —
+    ``default_config`` is a classmethod, so a wrapper class can't know
+    the wrapped vendor; the instance-level ``effective_config`` hook
+    carries it instead."""
+
+    def test_deployment_node_gets_inner_vendor_config(self):
+        origin = make_origin(1000)
+        mitigated = with_laziness(create_profile("huawei"))
+        deployment = Deployment.single(CdnSpec(profile=mitigated), origin)
+        inner_config = create_profile("huawei").effective_config()
+        assert deployment.nodes[0].config == inner_config
+        # Huawei's Range origin option is the distinctive bit that a
+        # class-level default would silently drop.
+        assert deployment.nodes[0].config.origin_range_option is True
+
+    def test_classify_sbr_round_trips_mitigated_profile(self):
+        from repro.analysis.classify import classify_sbr
+
+        clean = classify_sbr("gcore")
+        mitigated = classify_sbr(
+            "gcore",
+            profile_factory=lambda: with_laziness(create_profile("gcore")),
+        )
+        assert clean.vulnerable
+        assert not mitigated.vulnerable
+
+    def test_bare_class_default_config_is_base_fallback(self):
+        from repro.cdn.vendors.base import VendorProfile
+        from repro.defense.mitigations import MitigatedProfile
+
+        assert MitigatedProfile.default_config() == VendorProfile.default_config()
+
+
 class TestInvalidMode:
     def test_unknown_forwarding_mode_rejected(self):
         from repro.defense.mitigations import MitigatedProfile
