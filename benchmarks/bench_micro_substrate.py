@@ -4,7 +4,14 @@ Not a paper artifact: these time the primitives every experiment leans
 on, so regressions in the simulator itself are visible — Range parsing,
 multipart assembly at OBR scale, the full single-CDN pipeline, and the
 disabled-observability overhead (the NullTracer path must stay free).
+
+The run-all benchmark at the bottom additionally persists the
+schema-versioned ``BENCH_runall.json`` observation to
+``benchmarks/output/`` — the same trajectory file ``repro run-all
+--bench`` writes, so local bench runs and CI gate on one format.
 """
+
+import time
 
 from repro.cdn.node import CdnNode
 from repro.cdn.vendors import create_profile
@@ -108,3 +115,28 @@ def test_sbr_pipeline_round_traced(benchmark):
 
     assert benchmark(round_trip) == 206
     assert tracer.finished_spans()
+
+
+def test_run_all_quick_fastpath(benchmark, output_dir):
+    """Quick run-all through the closed-form fast path, persisting the
+    ``BENCH_runall.json`` trajectory observation.
+
+    Serial on purpose: the observation tracks the fast path and the
+    residual simulation, not pool scaling.
+    """
+    from benchmarks.conftest import save_artifact
+    from repro.reporting.bench import BENCH_FILENAME, bench_from_runall
+    from repro.runner.memo import clear_all_memos
+    from repro.runner.runall import run_all
+
+    def regenerate():
+        clear_all_memos()
+        started = time.perf_counter()
+        report = run_all(workers=1, quick=True)
+        return report, time.perf_counter() - started
+
+    report, wall_s = benchmark(regenerate)
+    assert report.fastpath is not None
+    assert report.fastpath.answered > 0
+    bench = bench_from_runall(report, "run-all-quick", wall_s=wall_s)
+    save_artifact(output_dir, BENCH_FILENAME, bench.to_json() + "\n")

@@ -19,6 +19,7 @@ subtracted), so the ratio can only be pessimistic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, List, Optional, Tuple
 
 from repro.cdn.multirange import MultiRangeReplyBehavior
@@ -433,6 +434,15 @@ def static_max_n(
         raise ConfigurationError(
             "a CDN is not cascaded with itself (paper Table V excludes it)"
         )
+    if fcdn_profile is None and bcdn_profile is None:
+        # Registry-vendor searches are pure functions of scalar inputs;
+        # the analyzer and the recommendation engine re-ask the same
+        # cascades, so the binary search is worth caching.  Wrapped
+        # (mitigated) profiles stay uncached — factories have no stable
+        # cache identity.
+        return _static_max_n_default(
+            fcdn, bcdn, resource_size, resource_path, host, lower, upper
+        )
 
     def admits(n: int) -> bool:
         return _static_probe(
@@ -445,6 +455,33 @@ def static_max_n(
             fcdn_profile=fcdn_profile,
             bcdn_profile=bcdn_profile,
         )
+
+    if not admits(lower):
+        return 0
+    if admits(upper):
+        return upper
+    low, high = lower, upper  # admits(low), not admits(high)
+    while high - low > 1:
+        middle = (low + high) // 2
+        if admits(middle):
+            low = middle
+        else:
+            high = middle
+    return low
+
+
+@lru_cache(maxsize=1024)
+def _static_max_n_default(
+    fcdn: str,
+    bcdn: str,
+    resource_size: int,
+    resource_path: str,
+    host: str,
+    lower: int,
+    upper: int,
+) -> int:
+    def admits(n: int) -> bool:
+        return _static_probe(fcdn, bcdn, n, resource_size, resource_path, host)
 
     if not admits(lower):
         return 0

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.cdn.vendors import all_vendor_names, profile_class
@@ -208,6 +209,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reuse the checkpoint from a previous killed run; only the "
              "missing cells execute (implies --checkpoint)",
     )
+    run_all.add_argument(
+        "--exact", action="store_true",
+        help="simulate every cell at the wire level instead of answering "
+             "calibrated SBR/OBR cells from closed forms (the reference "
+             "path the fast path is differentially tested against)",
+    )
+    run_all.add_argument(
+        "--bench", nargs="?", const="BENCH_runall.json", default=None,
+        metavar="PATH",
+        help="write the schema-versioned benchmark observation (wall "
+             "clock, cells/sec, fast-path hit rate, per-phase breakdown) "
+             "to PATH; with --output-dir it is also written there by "
+             "default",
+    )
 
     return parser
 
@@ -391,6 +406,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 
     collect_obs = bool(args.trace or args.metrics or args.profile)
     reporter = None if args.no_progress else ProgressReporter(prefix="run-all")
+    wall_started = time.perf_counter()
     report = run_all(
         workers=args.workers,
         quick=args.quick,
@@ -402,7 +418,9 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         ),
         checkpoint_path=checkpoint_path,
         resume=args.resume,
+        exact=args.exact,
     )
+    wall_s = time.perf_counter() - wall_started
     if reporter is not None:
         reporter.close()
     if checkpoint_path is not None:
@@ -427,6 +445,16 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             else ""
         )
     )
+    if report.fastpath is not None:
+        stats = report.fastpath
+        print(
+            f"  fast path: {stats.answered}/{stats.total} cells answered "
+            f"from closed forms ({stats.hit_rate:.0%} hit rate, "
+            f"{stats.refused} refused, {stats.validated} cross-validated, "
+            f"{stats.calibration_runs} calibration sims)"
+        )
+    elif args.exact:
+        print("  fast path: disabled (--exact); every cell simulated")
 
     if args.trace is not None:
         from repro.netsim.trace import dump_joined_jsonl
@@ -536,9 +564,19 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             ],
         )
     )
-    if args.output_dir is not None:
-        for path in write_report(report, args.output_dir):
-            print(f"wrote {path}")
+    if args.output_dir is not None or args.bench is not None:
+        from repro.reporting.bench import bench_from_runall
+
+        label = "run-all" + ("-quick" if args.quick else "")
+        if args.exact:
+            label += "-exact"
+        bench = bench_from_runall(report, label, wall_s=wall_s)
+        if args.output_dir is not None:
+            for path in write_report(report, args.output_dir):
+                print(f"wrote {path}")
+            print(f"wrote {bench.write(Path(args.output_dir))}")
+        if args.bench is not None:
+            print(f"wrote {bench.write(args.bench)}")
     return 0
 
 

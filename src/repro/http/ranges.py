@@ -158,7 +158,18 @@ class RangeSpecifier:
         satisfiable, :class:`RangeNotSatisfiableError` is raised — the
         HTTP 416 condition.
         """
-        resolved = [r for r in (spec.resolve(complete_length) for spec in self.specs) if r]
+        resolved: List[ResolvedRange] = []
+        last_spec: Optional[RangeSpec] = None
+        last_result: Optional[ResolvedRange] = None
+        for spec in self.specs:
+            # Repeated specs parse to a shared instance (see
+            # ``parse_range_header``), so an identity memo resolves an
+            # n-fold repeat with one computation.
+            if spec is not last_spec:
+                last_spec = spec
+                last_result = spec.resolve(complete_length)
+            if last_result:
+                resolved.append(last_result)
         if not resolved:
             raise RangeNotSatisfiableError(
                 f"no satisfiable ranges in {self.to_header_value()!r} "
@@ -212,13 +223,23 @@ def parse_range_header(value: str, strict_unit: bool = True) -> RangeSpecifier:
         raise RangeParseError(f"unsupported range unit {unit!r}")
     items = range_set.split(",")
     specs: List[RangeSpec] = []
+    last_item: Optional[str] = None
+    last_spec: Optional[RangeSpec] = None
     for raw in items:
         item = raw.strip(_OWS)
         if not item:
             # The 1#rule list grammar tolerates empty elements ("a,,b");
             # skip them rather than failing the whole header.
             continue
-        specs.append(_parse_spec(item, value))
+        # Attack-shaped headers repeat one spec thousands of times
+        # ("0-,0-,0-,..."); specs are frozen, so repeats can share one
+        # instance instead of re-running the grammar per element.
+        if item == last_item and last_spec is not None:
+            specs.append(last_spec)
+            continue
+        last_spec = _parse_spec(item, value)
+        last_item = item
+        specs.append(last_spec)
     if not specs:
         raise RangeParseError(f"empty byte-range-set in {value!r}")
     return RangeSpecifier(specs, unit=unit)

@@ -33,6 +33,7 @@ SEGMENT_REQUEST_BYTES = "repro_segment_request_bytes_total"
 SEGMENT_RESPONSE_BYTES_SENT = "repro_segment_response_bytes_sent_total"
 SEGMENT_RESPONSE_BYTES_DELIVERED = "repro_segment_response_bytes_delivered_total"
 CACHE_LOOKUPS = "repro_cache_lookups_total"
+MEMO_LOOKUPS = "repro_memo_lookups_total"
 RANGE_REWRITES = "repro_range_rewrites_total"
 AMPLIFICATION_FACTOR = "repro_amplification_factor"
 RUNNER_CELL_SECONDS = "repro_runner_cell_seconds"
@@ -341,6 +342,17 @@ class MetricsRegistry:
     def record_cache_lookup(self, vendor: str, hit: bool) -> None:
         self.counter(CACHE_LOOKUPS, "edge cache lookups by outcome").inc(
             1, vendor=vendor, result="hit" if hit else "miss"
+        )
+
+    def record_memo_lookup(self, memo: str, hit: bool) -> None:
+        """Count one runner memo-table lookup by outcome.
+
+        Worker processes warm per-process memo tables whose stats used
+        to vanish with the process; recording lookups here lets the
+        runner's cross-process snapshot merge surface them.
+        """
+        self.counter(MEMO_LOOKUPS, "runner memo lookups by outcome").inc(
+            1, memo=memo, result="hit" if hit else "miss"
         )
 
     def record_rewrite(self, vendor: str, policy: str) -> None:

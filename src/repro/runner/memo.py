@@ -14,15 +14,30 @@ statistics; :func:`measure_sbr` is the shared memoized SBR measurement
 the runner's cell functions and ``run_all`` go through.  Caches are
 per-process: worker processes each warm their own, which affects only
 speed, never results.
+
+Per-process stats used to vanish with their worker, making memo
+effectiveness invisible in pooled runs.  Named memos therefore report
+every lookup to the context's active
+:class:`~repro.obs.metrics.MetricsRegistry`
+(``repro_memo_lookups_total{memo=...,result=hit|miss}``); the runner
+snapshots per-cell registries across the process boundary and merges
+them, so an observability run shows the true pool-wide hit/miss split.
+Named memos also register in a module-level index so
+:func:`clear_all_memos` and :func:`memo_stats` see every table.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from repro.obs.metrics import current_metrics
 
 DEFAULT_MAXSIZE = 1024
+
+#: Module-level index of named memo tables (name -> Memo).
+_MEMOS: Dict[str, "Memo"] = {}
 
 
 @dataclass
@@ -50,20 +65,32 @@ class Memo:
     insertion order.
     """
 
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE, name: Optional[str] = None) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
+        self.name = name
         self.stats = MemoStats()
         self._table: Dict[Hashable, Any] = {}
         self._lock = threading.Lock()
+        if name is not None:
+            _MEMOS[name] = self
+
+    def _record(self, hit: bool) -> None:
+        if self.name is None:
+            return
+        registry = current_metrics()
+        if registry is not None:
+            registry.record_memo_lookup(self.name, hit)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on a miss."""
         with self._lock:
             if key in self._table:
                 self.stats.hits += 1
-                return self._table[key]
+                value = self._table[key]
+                self._record(hit=True)
+                return value
         # Compute outside the lock: measurements can be slow, and a
         # duplicate computation is merely wasted work, never wrong.
         value = compute()
@@ -75,6 +102,7 @@ class Memo:
                     self.stats.evictions += 1
                 self._table[key] = value
             self.stats.misses += 1
+        self._record(hit=False)
         return value
 
     def clear(self) -> None:
@@ -93,11 +121,13 @@ def memoize(maxsize: int = DEFAULT_MAXSIZE) -> Callable[[Callable[..., Any]], Ca
     """Decorator memoizing a function of hashable positional arguments.
 
     The memo table is exposed as ``wrapped.memo`` so tests and
-    ``run_all`` can inspect hit rates or clear it.
+    ``run_all`` can inspect hit rates or clear it.  It is named after
+    the wrapped function, so its lookups surface in metrics and it is
+    reachable through :func:`memo_stats` / :func:`clear_all_memos`.
     """
 
     def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
-        memo = Memo(maxsize)
+        memo = Memo(maxsize, name=fn.__name__)
 
         def wrapped(*args: Hashable) -> Any:
             return memo.get_or_compute(args, lambda: fn(*args))
@@ -134,6 +164,12 @@ def sbr_per_request_traffic(vendor: str, resource_size: int) -> Tuple[int, int]:
     return (result.origin_traffic, result.client_traffic)
 
 
+def memo_stats() -> Dict[str, MemoStats]:
+    """This process's stats for every named memo (name -> stats)."""
+    return {name: memo.stats for name, memo in sorted(_MEMOS.items())}
+
+
 def clear_all_memos() -> None:
-    """Reset every module-level memo (test isolation helper)."""
-    measure_sbr.memo.clear()  # type: ignore[attr-defined]
+    """Reset every named memo (test isolation helper)."""
+    for memo in _MEMOS.values():
+        memo.clear()

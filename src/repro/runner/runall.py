@@ -15,7 +15,8 @@ returns objects equal to the serial regeneration for every N.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -28,7 +29,14 @@ from repro.errors import ReproError
 from repro.faults.experiment import DEFAULT_FAULT_ROUNDS, DEFAULT_FAULT_SEED
 from repro.obs.profile import CellProfile
 from repro.runner.checkpoint import RunCheckpoint
-from repro.runner.executor import CellTiming, GridRunner, Observer
+from repro.runner.executor import (
+    CellOutcome,
+    CellTiming,
+    GridResult,
+    GridRunner,
+    Observer,
+)
+from repro.runner.fastpath import FastPathPlanner, FastPathStats
 from repro.runner.grid import ExperimentGrid
 from repro.runner.memo import sbr_per_request_traffic
 
@@ -73,6 +81,12 @@ class RunAllReport:
     #: mitigation per vulnerable finding, statically derived, so the
     #: artifact is deterministic across runs and resumes.
     table7_recommendations: Optional[RecommendationReport] = None
+    #: What the closed-form fast path did (``None`` for ``--exact`` and
+    #: observability runs, which simulate every cell).
+    fastpath: Optional[FastPathStats] = None
+    #: Wall seconds per run phase ("fastpath", "grid", "validate",
+    #: "static"); feeds the persisted ``BENCH_runall.json`` trajectory.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -144,6 +158,7 @@ def run_all(
     fault_seed: int = DEFAULT_FAULT_SEED,
     checkpoint_path: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    exact: bool = False,
 ) -> RunAllReport:
     """Regenerate Tables IV–V and Figs 6–7 in one grid run.
 
@@ -165,6 +180,14 @@ def run_all(
     reuses the journal from a previous (killed) run so only the missing
     cells execute.  The resumed report is identical to an uninterrupted
     run's.
+
+    By default SBR/OBR cells whose regimes calibrate exactly are
+    answered by the closed-form fast path (bit-identical to simulation;
+    a sampled subset is re-simulated and compared after the grid run).
+    ``exact=True`` forces wire-level simulation for every cell — the
+    reference path the fast path is differentially tested against.
+    Observability runs (``collect_obs=True``) also simulate everything:
+    a closed form has no wire exchanges to trace or meter.
     """
     from repro.reporting.figures import fig6_series_from_results
     from repro.reporting.tables import (
@@ -204,6 +227,23 @@ def run_all(
 
     if resume and checkpoint_path is None:
         raise ReproError("resume requires a checkpoint path")
+
+    phase_seconds: Dict[str, float] = {}
+    planner: Optional[FastPathPlanner] = None
+    fast_outcomes: Dict[int, CellOutcome] = {}
+    subgrid = grid
+    if not exact and not collect_obs:
+        planner = FastPathPlanner()
+        phase_started = time.perf_counter()
+        fast_plan = planner.plan(grid)
+        phase_seconds["fastpath"] = time.perf_counter() - phase_started
+        fast_outcomes = fast_plan.outcomes
+        subgrid = fast_plan.residual
+
+    # The checkpoint journals only the simulated residual: fast-path
+    # answers are cheaper to recompute than to restore, and a resumed
+    # run re-plans deterministically, so the merged outcome tuple is
+    # identical either way.
     checkpoint: Optional[RunCheckpoint] = None
     restored_cells = 0
     if checkpoint_path is not None:
@@ -213,14 +253,34 @@ def run_all(
                 f"checkpoint {path} already exists; resume it or remove it first"
             )
         checkpoint = RunCheckpoint(path)
-        restored_cells = len(checkpoint.restore(grid.cells))
+        restored_cells = len(checkpoint.restore(subgrid.cells))
 
     runner = GridRunner(workers, collect=collect_obs, observer=observer)
     try:
-        result = runner.run(grid, checkpoint=checkpoint)
+        result = runner.run(subgrid, checkpoint=checkpoint)
     finally:
         if checkpoint is not None:
             checkpoint.close()
+    phase_seconds["grid"] = result.duration_s
+
+    if planner is not None:
+        phase_started = time.perf_counter()
+        planner.validate()
+        phase_seconds["validate"] = time.perf_counter() - phase_started
+
+    if fast_outcomes:
+        by_cell = {outcome.cell: outcome for outcome in result}
+        result = GridResult(
+            grid_name=grid.name,
+            outcomes=tuple(
+                fast_outcomes[index]
+                if index in fast_outcomes
+                else replace(by_cell[cell], index=index)
+                for index, cell in enumerate(grid.cells)
+            ),
+            workers=result.workers,
+            duration_s=sum(phase_seconds.values()),
+        )
     result.values()  # any failed cell aborts the regeneration, loudly
 
     by_key = result.value_by_key()
@@ -262,6 +322,7 @@ def run_all(
     spans: List[Any] = []
     events: List[Any] = []
     metrics: Dict[str, Any] = {}
+    phase_started = time.perf_counter()
     if collect_obs:
         from repro.obs.metrics import MetricsRegistry, use_metrics
 
@@ -277,6 +338,7 @@ def run_all(
         metrics = registry.snapshot()
     else:
         recommendations = _recommendations()
+    phase_seconds["static"] = time.perf_counter() - phase_started
 
     return RunAllReport(
         table4=table4_rows_from_results(by_key, names, table4_sizes),
@@ -301,6 +363,8 @@ def run_all(
         fault_seed=fault_seed if faults else None,
         restored_cells=restored_cells,
         table7_recommendations=recommendations,
+        fastpath=planner.stats if planner is not None else None,
+        phase_seconds=phase_seconds,
     )
 
 

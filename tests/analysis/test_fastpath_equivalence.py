@@ -1,0 +1,228 @@
+"""Differential harness: fast path == wire-level simulation.
+
+The closed-form engines in :mod:`repro.core.vectorized` claim *bit
+identity* with the simulation wherever they answer at all — refusing
+(:class:`~repro.core.vectorized.ExactModelError`) is their only escape
+hatch.  This suite pins that claim cell by cell:
+
+* every Table IV cell (13 vendors x the paper's three sizes),
+* every Table V cascade (all 11 vulnerable FCDN x BCDN combinations),
+* hypothesis-driven random (vendor, size) and (cascade, overlap) cells:
+  ``fast == sim`` wherever the engine answers, and ``sim <= bound``
+  everywhere else (the static-bounds soundness contract covers the
+  refused cells),
+* the planner layer: grid partitioning, sampled cross-validation, and
+  the loud failure on a fabricated mismatch.
+
+Equality here is dataclass equality over every recorded field — per
+segment connection/exchange counts and request/sent/delivered byte
+totals — not just the headline amplification factor.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import obr_bound, sbr_bound, static_max_n
+from repro.cdn.vendors import all_vendor_names
+from repro.core.obr import ObrAttack, vulnerable_combinations
+from repro.core.sbr import SbrAttack
+from repro.core.vectorized import (
+    ExactModelError,
+    ObrFastEngine,
+    SbrFastEngine,
+    regime_interval,
+)
+
+MB = 1 << 20
+KB = 1 << 10
+
+TABLE4_SIZES = (1 * MB, 10 * MB, 25 * MB)
+
+
+@pytest.fixture(scope="module")
+def sbr_engine():
+    return SbrFastEngine()
+
+
+@pytest.fixture(scope="module")
+def obr_engine():
+    return ObrFastEngine()
+
+
+class TestTable4BitIdentity:
+    """All 13 Table IV vendors, all three paper sizes."""
+
+    @pytest.mark.parametrize("vendor", all_vendor_names())
+    def test_vendor_matches_simulation_exactly(self, vendor, sbr_engine):
+        for size in TABLE4_SIZES:
+            fast = sbr_engine.measure(vendor, size)
+            simulated = SbrAttack(vendor, resource_size=size).run()
+            assert fast == simulated, (
+                f"{vendor} at {size}: fast path diverged from simulation"
+            )
+
+    def test_calibration_is_amortized(self, sbr_engine):
+        """Re-asking every Table IV cell runs zero additional sims."""
+        before = sbr_engine.calibration_runs
+        for vendor in all_vendor_names():
+            for size in TABLE4_SIZES:
+                sbr_engine.measure(vendor, size)
+        assert sbr_engine.calibration_runs == before
+
+
+class TestTable5BitIdentity:
+    """All 11 Table V cascades, at the searched maximum n."""
+
+    @pytest.mark.parametrize("fcdn,bcdn", vulnerable_combinations())
+    def test_cascade_matches_simulation_exactly(self, fcdn, bcdn, obr_engine):
+        attack = ObrAttack(fcdn, bcdn)
+        max_n = attack.find_max_n()
+        # The fast path resolves n through the static search; the two
+        # searches agree exactly (pinned by test_cross_check.py too).
+        assert static_max_n(fcdn, bcdn) == max_n
+        fast = obr_engine.measure(fcdn, bcdn)
+        simulated = attack.run(overlap_count=max_n)
+        assert fast == simulated, (
+            f"{fcdn}->{bcdn}: fast path diverged from simulation at n={max_n}"
+        )
+
+
+class TestRandomCells:
+    """Property check: exact where claimed, bounded where refused."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        vendor=st.sampled_from(all_vendor_names()),
+        size=st.integers(min_value=64 * KB, max_value=32 * MB),
+    )
+    def test_sbr_random_sizes(self, vendor, size, sbr_engine):
+        simulated = SbrAttack(vendor, resource_size=size).run()
+        try:
+            fast = sbr_engine.measure(vendor, size)
+        except ExactModelError:
+            # Refused: the soundness fallback still holds.
+            assert simulated.amplification <= sbr_bound(vendor, size).factor
+            return
+        assert fast == simulated
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        combo=st.sampled_from(vulnerable_combinations()),
+        overlap_count=st.integers(min_value=2, max_value=64),
+    )
+    def test_obr_random_overlap_counts(self, combo, overlap_count, obr_engine):
+        fcdn, bcdn = combo
+        simulated = ObrAttack(fcdn, bcdn).run(overlap_count=overlap_count)
+        try:
+            fast = obr_engine.measure(fcdn, bcdn, overlap_count=overlap_count)
+        except ExactModelError:
+            bound = obr_bound(fcdn, bcdn, overlap_count=overlap_count)
+            assert simulated.amplification <= bound.factor
+            return
+        assert fast == simulated
+
+    @settings(max_examples=30, deadline=None)
+    @given(size=st.integers(min_value=2, max_value=64 * MB))
+    def test_regime_interval_contains_size(self, size):
+        lo, hi = regime_interval(size)
+        assert lo <= size <= hi
+        # Digit signatures are constant across the regime, by construction.
+        assert len(str(lo)) == len(str(hi)) == len(str(size))
+        assert len(str(lo - 1)) == len(str(hi - 1)) == len(str(size - 1))
+
+
+class TestSbrEngineRefusals:
+    def test_unknown_vendor_rejected(self, sbr_engine):
+        with pytest.raises(ExactModelError):
+            sbr_engine.measure("nonexistent-cdn", 1 * MB)
+
+    def test_degenerate_size_rejected(self, sbr_engine):
+        with pytest.raises(ExactModelError):
+            sbr_engine.measure("akamai", 1)
+
+    def test_refusal_leaves_engine_usable(self, sbr_engine):
+        with pytest.raises(ExactModelError):
+            sbr_engine.measure("akamai", 0)
+        assert sbr_engine.measure("akamai", 1 * MB) == SbrAttack(
+            "akamai", resource_size=1 * MB
+        ).run()
+
+
+class TestPlannerLayer:
+    def _quick_grid(self):
+        from repro.runner.runall import QUICK_TABLE5_COMBOS, build_run_all_grid
+
+        return build_run_all_grid(
+            fig6_sizes=(1 * MB, 2 * MB, 3 * MB),
+            table4_sizes=(1 * MB,),
+            table5_combos=QUICK_TABLE5_COMBOS,
+            fig7_ms=(2, 12, 15),
+        )
+
+    def test_plan_partitions_quick_grid(self):
+        from repro.runner.fastpath import FastPathPlanner
+
+        grid = self._quick_grid()
+        plan = FastPathPlanner().plan(grid)
+        assert plan.stats.answered + len(plan.residual) == len(grid)
+        assert plan.stats.ineligible == 3  # the flood cells
+        assert plan.stats.refused == 0
+        assert plan.stats.hit_rate > 0.9
+        # Fast outcomes carry original grid indices and flood cells all
+        # fall through to the residual.
+        for index, outcome in plan.outcomes.items():
+            assert grid.cells[index] == outcome.cell
+            assert outcome.cell.experiment in ("sbr", "obr")
+        assert {cell.experiment for cell in plan.residual} == {"flood"}
+
+    def test_fast_answers_equal_cell_functions(self):
+        from repro.runner.experiments import execute_cell
+        from repro.runner.fastpath import FastPathPlanner
+        from repro.runner.memo import clear_all_memos
+
+        clear_all_memos()
+        plan = FastPathPlanner().plan(self._quick_grid())
+        for outcome in plan.outcomes.values():
+            assert outcome.value == execute_cell(outcome.cell), (
+                f"planner answer diverges on {outcome.cell.label}"
+            )
+
+    def test_validation_passes_on_honest_answers(self):
+        from repro.runner.fastpath import FastPathPlanner
+
+        planner = FastPathPlanner(validate_denominator=1)  # sample everything
+        plan = planner.plan(self._quick_grid())
+        validated = planner.validate()
+        assert validated == plan.stats.answered - 2  # OBR cells are not sampled
+        assert planner.stats.validated == validated
+
+    def test_validation_raises_on_fabricated_mismatch(self):
+        from repro.runner.fastpath import FastPathMismatchError, FastPathPlanner
+
+        planner = FastPathPlanner(validate_denominator=1)
+        planner.plan(self._quick_grid())
+        assert planner._samples
+        cell, _ = planner._samples[-1]
+        planner._samples[-1] = (cell, "corrupted-value")
+        with pytest.raises(FastPathMismatchError):
+            planner.validate()
+
+    def test_sampling_is_deterministic(self):
+        from repro.runner.fastpath import FastPathPlanner
+
+        first = FastPathPlanner()
+        second = FastPathPlanner()
+        first.plan(self._quick_grid())
+        second.plan(self._quick_grid())
+        assert [cell for cell, _ in first._samples] == [
+            cell for cell, _ in second._samples
+        ]
