@@ -96,6 +96,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print the retry-aware SBR bound (clean bound scaled by "
              "each vendor's back-to-origin attempt budget)",
     )
+    analyze.add_argument(
+        "--runlog", nargs="?", const="runlog.jsonl", default=None,
+        metavar="PATH",
+        help="append a run record (static bounds by subject) to this JSONL "
+             "ledger (default PATH: runlog.jsonl)",
+    )
 
     recommend = commands.add_parser(
         "recommend",
@@ -131,6 +137,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cross-validate each recommendation dynamically: simulate "
              "the attack under the mitigated profile on a quick grid and "
              "check sim <= residual bound",
+    )
+    recommend.add_argument(
+        "--runlog", nargs="?", const="runlog.jsonl", default=None,
+        metavar="PATH",
+        help="append a run record (chosen residual factors by subject) to "
+             "this JSONL ledger (default PATH: runlog.jsonl)",
     )
 
     lint = commands.add_parser(
@@ -222,6 +234,127 @@ def _build_parser() -> argparse.ArgumentParser:
              "clock, cells/sec, fast-path hit rate, per-phase breakdown) "
              "to PATH; with --output-dir it is also written there by "
              "default",
+    )
+    run_all.add_argument(
+        "--runlog", nargs="?", const="runlog.jsonl", default=None,
+        metavar="PATH",
+        help="append the full run record (config digest, phase and "
+             "per-cell timings, fast-path counters, factors, artifact "
+             "digests) to this JSONL ledger (default PATH: runlog.jsonl)",
+    )
+
+    obs = commands.add_parser(
+        "obs",
+        help="inspect the persistent run ledger and export telemetry",
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_runs = obs_commands.add_parser(
+        "runs", help="list recorded runs, oldest first"
+    )
+    obs_runs.add_argument(
+        "--ledger", default="runlog.jsonl", metavar="PATH",
+        help="run ledger to read (default: runlog.jsonl)",
+    )
+    obs_runs.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show only the newest N runs",
+    )
+    obs_runs.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="output format (default: table)",
+    )
+
+    obs_top = obs_commands.add_parser(
+        "top",
+        help="rank one recorded run's slowest cells (or a trace's "
+             "slowest spans)",
+    )
+    obs_top.add_argument(
+        "run", nargs="?", default="-1",
+        help="ledger index or run-id prefix (default: -1, the newest)",
+    )
+    obs_top.add_argument(
+        "--ledger", default="runlog.jsonl", metavar="PATH",
+        help="run ledger to read (default: runlog.jsonl)",
+    )
+    obs_top.add_argument(
+        "-n", "--count", type=int, default=10, metavar="N",
+        help="entries to show (default: 10)",
+    )
+    obs_top.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="rank spans from this joined trace JSONL (run-all --trace "
+             "output) instead of ledger cells",
+    )
+
+    obs_diff = obs_commands.add_parser(
+        "diff",
+        help="compare two recorded runs cell-by-cell and "
+             "factor-by-factor",
+    )
+    obs_diff.add_argument("before", help="ledger index or run-id prefix")
+    obs_diff.add_argument("after", help="ledger index or run-id prefix")
+    obs_diff.add_argument(
+        "--ledger", default="runlog.jsonl", metavar="PATH",
+        help="run ledger to read (default: runlog.jsonl)",
+    )
+    obs_diff.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero when any cell slows past the threshold or "
+             "any factor drifts past tolerance (the CI regression gate)",
+    )
+    obs_diff.add_argument(
+        "--threshold", type=float, default=0.5, metavar="R",
+        help="slowdown ratio over 1.0 that trips the timing gate "
+             "(default: 0.5, i.e. 50%% slower)",
+    )
+    obs_diff.add_argument(
+        "--min-seconds", type=float, default=0.1, dest="min_seconds",
+        metavar="S",
+        help="ignore cells faster than this in the after run — too "
+             "noisy to gate on (default: 0.1)",
+    )
+    obs_diff.add_argument(
+        "--factor-tolerance", type=float, default=1e-6,
+        dest="factor_tolerance", metavar="T",
+        help="relative amplification-factor drift allowed before the "
+             "gate fails (default: 1e-6)",
+    )
+    obs_diff.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="output format (default: table)",
+    )
+
+    obs_export_trace = obs_commands.add_parser(
+        "export-trace",
+        help="convert a run-all --trace JSONL into Chrome trace-event "
+             "JSON (Perfetto / chrome://tracing loadable)",
+    )
+    obs_export_trace.add_argument(
+        "input", help="joined span/exchange JSONL (run-all --trace output)"
+    )
+    obs_export_trace.add_argument(
+        "output", nargs="?", default=None,
+        help="target JSON path (default: INPUT with a .trace.json suffix)",
+    )
+
+    obs_export_prom = obs_commands.add_parser(
+        "export-prom",
+        help="write one recorded run's metrics snapshot as a Prometheus "
+             "textfile-exporter file (atomic write)",
+    )
+    obs_export_prom.add_argument(
+        "run", nargs="?", default="-1",
+        help="ledger index or run-id prefix (default: -1, the newest)",
+    )
+    obs_export_prom.add_argument(
+        "output", nargs="?", default="runlog.prom",
+        help="target .prom path (default: runlog.prom)",
+    )
+    obs_export_prom.add_argument(
+        "--ledger", default="runlog.jsonl", metavar="PATH",
+        help="run ledger to read (default: runlog.jsonl)",
     )
 
     return parser
@@ -456,6 +589,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     elif args.exact:
         print("  fast path: disabled (--exact); every cell simulated")
 
+    written_artifacts: List[Path] = []
     if args.trace is not None:
         from repro.netsim.trace import dump_joined_jsonl
 
@@ -463,6 +597,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             count = dump_joined_jsonl(report.events, report.spans, stream)
         print(f"wrote {args.trace} ({count} lines: "
               f"{len(report.events)} exchanges, {len(report.spans)} spans)")
+        written_artifacts.append(Path(args.trace))
 
     if args.metrics is not None:
         from repro.obs.metrics import MetricsRegistry
@@ -476,6 +611,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         with open(args.metrics, "w", encoding="utf-8") as stream:
             stream.write(content)
         print(f"wrote {args.metrics} ({len(report.metrics)} metric families)")
+        written_artifacts.append(Path(args.metrics))
 
     if args.profile is not None:
         content = render_profile(
@@ -488,6 +624,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         with open(args.profile, "w", encoding="utf-8") as stream:
             stream.write(content)
         print(f"wrote {args.profile} ({len(report.cells)} cells profiled)")
+        written_artifacts.append(Path(args.profile))
 
     sizes = sorted(report.table4[0].factors) if report.table4 else []
     print("\nTable IV - SBR amplification factors:")
@@ -564,29 +701,62 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             ],
         )
     )
+    label = "run-all" + ("-quick" if args.quick else "")
+    if args.exact:
+        label += "-exact"
+    if args.faults:
+        label += "-faults"
     if args.output_dir is not None or args.bench is not None:
         from repro.reporting.bench import bench_from_runall
 
-        label = "run-all" + ("-quick" if args.quick else "")
-        if args.exact:
-            label += "-exact"
         bench = bench_from_runall(report, label, wall_s=wall_s)
         if args.output_dir is not None:
             for path in write_report(report, args.output_dir):
                 print(f"wrote {path}")
-            print(f"wrote {bench.write(Path(args.output_dir))}")
+                written_artifacts.append(path)
+            bench_path = bench.write(Path(args.output_dir))
+            print(f"wrote {bench_path}")
+            written_artifacts.append(bench_path)
         if args.bench is not None:
-            print(f"wrote {bench.write(args.bench)}")
+            bench_path = bench.write(args.bench)
+            print(f"wrote {bench_path}")
+            written_artifacts.append(bench_path)
+    if args.runlog is not None:
+        from repro.obs.runlog import RunLedger, artifact_digest, record_from_runall
+
+        config = {
+            "quick": args.quick,
+            "exact": args.exact,
+            "faults": args.faults,
+            "fault_seed": (
+                args.fault_seed if args.fault_seed is not None else DEFAULT_FAULT_SEED
+            ),
+            "workers": report.workers,
+        }
+        record = RunLedger(args.runlog).append(
+            record_from_runall(
+                report,
+                label,
+                config,
+                wall_s=wall_s,
+                artifacts={
+                    path.name: artifact_digest(path) for path in written_artifacts
+                },
+            )
+        )
+        print(f"runlog: appended run {record.run_id} ({label}) to {args.runlog}")
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import analyze_vendor_matrix, render_findings_table
 
+    wall_started = time.perf_counter()
     report = analyze_vendor_matrix(
         resource_size=args.size_mb * MB,
         obr_resource_size=args.obr_size,
     )
+    wall_s = time.perf_counter() - wall_started
     if args.format == "json":
         print(report.to_json())
     else:
@@ -619,6 +789,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f"(clean bound x attempt budget, bare-wire denominator):"
         )
         print(render_table(["CDN", "Attempts", "Clean bound", "Faulted bound"], rows))
+    if args.runlog is not None:
+        from repro.obs.runlog import RunLedger, record_from_analysis
+
+        config = {
+            "size_mb": args.size_mb,
+            "obr_size": args.obr_size,
+            "with_retries": args.with_retries,
+        }
+        record = RunLedger(args.runlog).append(
+            record_from_analysis(report, config, wall_s=wall_s)
+        )
+        # JSON mode keeps stdout machine-parseable; the notice moves aside.
+        print(
+            f"runlog: appended run {record.run_id} (analyze) to {args.runlog}",
+            file=sys.stderr if args.format == "json" else sys.stdout,
+        )
     return 0
 
 
@@ -631,12 +817,14 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     )
 
     threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    wall_started = time.perf_counter()
     report = recommend(
         resource_size=args.size_mb * MB,
         obr_resource_size=args.obr_size,
         threshold=threshold,
         with_retries=args.with_retries,
     )
+    wall_s = time.perf_counter() - wall_started
     if args.format == "json":
         print(report.to_json())
     else:
@@ -652,6 +840,23 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
                     f"UNRESOLVED: {recommendation.subject} — no mitigation "
                     f"stays under {threshold:g}x"
                 )
+    if args.runlog is not None:
+        from repro.obs.runlog import RunLedger, record_from_recommendations
+
+        config = {
+            "size_mb": args.size_mb,
+            "obr_size": args.obr_size,
+            "threshold": threshold,
+            "with_retries": args.with_retries,
+            "verify": args.verify,
+        }
+        record = RunLedger(args.runlog).append(
+            record_from_recommendations(report, config, wall_s=wall_s)
+        )
+        print(
+            f"runlog: appended run {record.run_id} (recommend) to {args.runlog}",
+            file=sys.stderr if args.format == "json" else sys.stdout,
+        )
     if not report.all_resolved:
         return 1
     if args.verify:
@@ -672,6 +877,253 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         if failures:
             return 1
     return 0
+
+
+def _cmd_obs_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.runlog import RunLedger
+    from repro.reporting.render import format_duration
+
+    records = RunLedger(args.ledger).load()
+    offset = 0
+    if args.limit is not None and 0 < args.limit < len(records):
+        offset = len(records) - args.limit
+        records = records[offset:]
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in records], indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"ledger {args.ledger} is empty")
+        return 0
+    print(
+        render_table(
+            ["#", "run id", "command", "label", "cells", "wall", "fast", "factors"],
+            [
+                [
+                    offset + index,
+                    record.run_id,
+                    record.command,
+                    record.label,
+                    record.cell_count,
+                    format_duration(record.wall_s),
+                    (
+                        f"{record.fastpath['hit_rate']:.0%}"
+                        if record.fastpath is not None
+                        else "-"
+                    ),
+                    len(record.factors),
+                ]
+                for index, record in enumerate(records)
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    from repro.reporting.render import format_duration
+
+    if args.trace is not None:
+        from repro.netsim.trace import load_joined_jsonl
+
+        with open(args.trace, "r", encoding="utf-8") as stream:
+            _, spans = load_joined_jsonl(stream)
+        ranked_spans = sorted(spans, key=lambda s: s.end - s.start, reverse=True)
+        print(f"top {min(args.count, len(ranked_spans))} spans of {args.trace} "
+              f"({len(ranked_spans)} total):")
+        print(
+            render_table(
+                ["span", "trace", "wall"],
+                [
+                    [span.name, span.trace_id, format_duration(span.end - span.start)]
+                    for span in ranked_spans[: args.count]
+                ],
+            )
+        )
+        return 0
+
+    from repro.obs.runlog import RunLedger
+
+    record = RunLedger(args.ledger).resolve(args.run)
+    total_s = record.cell_seconds
+    ranked = sorted(record.cells, key=lambda c: c.seconds, reverse=True)
+    print(
+        f"top {min(args.count, len(ranked))} cells of run {record.run_id} "
+        f"({record.label}, {record.cell_count} cells, "
+        f"{format_duration(record.wall_s)} wall):"
+    )
+    print(
+        render_table(
+            ["cell", "experiment", "wall", "share", "ok"],
+            [
+                [
+                    cell.label,
+                    cell.experiment,
+                    format_duration(cell.seconds),
+                    f"{cell.seconds / total_s:.0%}" if total_s > 0 else "-",
+                    "ok" if cell.ok else "FAILED",
+                ]
+                for cell in ranked[: args.count]
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    import json
+    import math
+
+    from repro.obs.runlog import RunLedger, diff_runs
+    from repro.reporting.render import format_duration
+
+    ledger = RunLedger(args.ledger)
+    diff = diff_runs(
+        ledger.resolve(args.before),
+        ledger.resolve(args.after),
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+        factor_tolerance=args.factor_tolerance,
+    )
+    timing = diff.timing_regressions()
+    factors = diff.factor_regressions()
+    if args.format == "json":
+        payload = {
+            "before": diff.before.run_id,
+            "after": diff.after.run_id,
+            "shared_cells": len(diff.cells),
+            "added_cells": list(diff.added_cells),
+            "removed_cells": list(diff.removed_cells),
+            "added_factors": list(diff.added_factors),
+            "removed_factors": list(diff.removed_factors),
+            "timing_regressions": [
+                {
+                    "label": delta.label,
+                    "experiment": delta.experiment,
+                    "before_s": delta.before_s,
+                    "after_s": delta.after_s,
+                    "ratio": delta.ratio if math.isfinite(delta.ratio) else None,
+                }
+                for delta in timing
+            ],
+            "factor_regressions": [
+                {
+                    "key": delta.key,
+                    "before": delta.before,
+                    "after": delta.after,
+                    "relative": (
+                        delta.relative if math.isfinite(delta.relative) else None
+                    ),
+                }
+                for delta in factors
+            ],
+            "ok": diff.ok,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"diff {diff.before.run_id} ({diff.before.label}) -> "
+            f"{diff.after.run_id} ({diff.after.label}): "
+            f"{len(diff.cells)} shared cell(s), "
+            f"{len(diff.added_cells)} added, {len(diff.removed_cells)} removed"
+        )
+        print(
+            f"wall: {format_duration(diff.before.wall_s)} -> "
+            f"{format_duration(diff.after.wall_s)}"
+        )
+        if timing:
+            print("\ntiming regressions "
+                  f"(> {1.0 + args.threshold:.2f}x and > {args.min_seconds:g}s):")
+            print(
+                render_table(
+                    ["cell", "experiment", "before", "after", "ratio"],
+                    [
+                        [
+                            delta.label,
+                            delta.experiment,
+                            format_duration(delta.before_s),
+                            format_duration(delta.after_s),
+                            f"{delta.ratio:.2f}x",
+                        ]
+                        for delta in timing
+                    ],
+                )
+            )
+        if factors:
+            print("\nfactor drift (deterministic outputs; any drift "
+                  f"> {args.factor_tolerance:g} relative is a regression):")
+            print(
+                render_table(
+                    ["factor", "before", "after", "drift"],
+                    [
+                        [
+                            delta.key,
+                            f"{delta.before:.6g}",
+                            f"{delta.after:.6g}",
+                            f"{delta.relative:+.2%}",
+                        ]
+                        for delta in factors
+                    ],
+                )
+            )
+        if not timing and not factors:
+            print("no regressions")
+    if args.gate:
+        failures = diff.gate_failures()
+        for failure in failures:
+            print(f"GATE: {failure}", file=sys.stderr)
+        if failures:
+            print(
+                f"gate FAILED with {len(failures)} regression(s)", file=sys.stderr
+            )
+            return 1
+        if args.format != "json":
+            print("gate passed")
+    return 0
+
+
+def _cmd_obs_export_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.export import chrome_trace_from_jsonl, write_chrome_trace
+
+    output = (
+        args.output
+        if args.output is not None
+        else str(Path(args.input).with_suffix(".trace.json"))
+    )
+    with open(args.input, "r", encoding="utf-8") as stream:
+        trace = chrome_trace_from_jsonl(stream)
+    path = write_chrome_trace(trace, output)
+    print(f"wrote {path} ({len(trace['traceEvents'])} trace events)")
+    return 0
+
+
+def _cmd_obs_export_prom(args: argparse.Namespace) -> int:
+    from repro.obs.export import write_prometheus_textfile
+    from repro.obs.runlog import RunLedger
+
+    record = RunLedger(args.ledger).resolve(args.run)
+    path, families = write_prometheus_textfile(record.metrics, args.output)
+    print(f"wrote {path} ({families} metric families from run {record.run_id})")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "runs":
+        return _cmd_obs_runs(args)
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
+    if args.obs_command == "diff":
+        return _cmd_obs_diff(args)
+    if args.obs_command == "export-trace":
+        return _cmd_obs_export_trace(args)
+    if args.obs_command == "export-prom":
+        return _cmd_obs_export_prom(args)
+    raise AssertionError(
+        f"unhandled obs command {args.obs_command!r}"
+    )  # pragma: no cover
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -726,6 +1178,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "run-all":
             return _cmd_run_all(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

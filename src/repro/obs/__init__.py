@@ -14,10 +14,18 @@ installed the instrumentation points in ``netsim``/``cdn``/``origin``/
 
 from __future__ import annotations
 
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    chrome_trace_from_jsonl,
+    write_chrome_trace,
+    write_prometheus_textfile,
+)
 from repro.obs.metrics import (
     AMPLIFICATION_FACTOR,
     CACHE_LOOKUPS,
     Counter,
+    FASTPATH_CELLS,
     Gauge,
     Histogram,
     MetricError,
@@ -34,6 +42,18 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import CellProfile, render_profile
 from repro.obs.progress import ProgressReporter
+from repro.obs.runlog import (
+    CellRecord,
+    RunDiff,
+    RunLedger,
+    RunLogError,
+    RunRecord,
+    diff_runs,
+    record_from_analysis,
+    record_from_dict,
+    record_from_recommendations,
+    record_from_runall,
+)
 from repro.obs.tracer import (
     NULL_SPAN,
     NULL_TRACER,
@@ -51,7 +71,9 @@ __all__ = [
     "AMPLIFICATION_FACTOR",
     "CACHE_LOOKUPS",
     "CellProfile",
+    "CellRecord",
     "Counter",
+    "FASTPATH_CELLS",
     "Gauge",
     "Histogram",
     "MetricError",
@@ -64,6 +86,10 @@ __all__ = [
     "RANGE_REWRITES",
     "RUNNER_CELLS",
     "RUNNER_CELL_SECONDS",
+    "RunDiff",
+    "RunLedger",
+    "RunLogError",
+    "RunRecord",
     "SEGMENT_EXCHANGES",
     "SEGMENT_REQUEST_BYTES",
     "SEGMENT_RESPONSE_BYTES_DELIVERED",
@@ -71,10 +97,20 @@ __all__ = [
     "Span",
     "SpanRecord",
     "Tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "chrome_trace_from_jsonl",
     "current_metrics",
     "current_span",
     "current_tracer",
+    "diff_runs",
+    "record_from_analysis",
+    "record_from_dict",
+    "record_from_recommendations",
+    "record_from_runall",
     "render_profile",
     "use_metrics",
     "use_tracer",
+    "write_chrome_trace",
+    "write_prometheus_textfile",
 ]

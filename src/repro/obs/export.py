@@ -1,0 +1,167 @@
+"""Trace and metrics exporters for standard tooling.
+
+Two export targets:
+
+* **Chrome trace-event JSON** (Perfetto / ``chrome://tracing``
+  loadable) built from the span + exchange JSONL a traced run already
+  writes (``run-all --trace``).  Spans become complete (``"X"``)
+  events on one thread lane per trace id; per-exchange
+  :class:`~repro.netsim.trace.TraceEvent` lines become instant
+  (``"i"``) events carrying their byte counts as args.  Timestamps are
+  the simulator's deterministic clock (microseconds), so the exported
+  file is byte-stable across identical runs.
+* **Prometheus textfile-exporter output**: a metrics snapshot rendered
+  as text exposition and written atomically (tmp + ``os.replace``),
+  the contract node-exporter's textfile collector expects — it must
+  never scrape a half-written file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Dict, Iterable, List, Mapping, Tuple, Union
+
+#: Microseconds per simulated second (trace-event ``ts``/``dur`` unit).
+_US = 1e6
+
+#: Process id used for every exported event (one simulated process).
+_PID = 1
+
+#: Keys every exported trace event carries (the CI validity check).
+TRACE_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def _thread_ids(spans: Iterable[Any], events: Iterable[Any]) -> Dict[str, int]:
+    """Map trace ids to small integer thread ids, first-seen order."""
+    tids: Dict[str, int] = {}
+    for span in spans:
+        if span.trace_id not in tids:
+            tids[span.trace_id] = len(tids) + 1
+    for event in events:
+        trace_id = event.trace_id if event.trace_id is not None else "untraced"
+        if trace_id not in tids:
+            tids[trace_id] = len(tids) + 1
+    return tids
+
+
+def chrome_trace_events(
+    spans: Iterable[Any], events: Iterable[Any]
+) -> List[Dict[str, Any]]:
+    """Flatten spans and exchanges into trace-event dicts.
+
+    ``spans`` are :class:`~repro.obs.tracer.SpanRecord` objects;
+    ``events`` are :class:`~repro.netsim.trace.TraceEvent` objects.
+    Output order is deterministic: thread-name metadata first, then
+    spans in completion order, then exchanges in sequence order.
+    """
+    span_list = list(spans)
+    event_list = list(events)
+    tids = _thread_ids(span_list, event_list)
+    out: List[Dict[str, Any]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "ts": 0.0,
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": trace_id},
+        }
+        for trace_id, tid in tids.items()
+    ]
+    for span in span_list:
+        args: Dict[str, Any] = dict(span.attributes)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        out.append(
+            {
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": (span.end - span.start) * _US,
+                "pid": _PID,
+                "tid": tids[span.trace_id],
+                "args": args,
+            }
+        )
+    for event in event_list:
+        trace_id = event.trace_id if event.trace_id is not None else "untraced"
+        out.append(
+            {
+                "name": f"{event.segment} exchange",
+                "cat": "exchange",
+                "ph": "i",
+                "s": "t",
+                # Exchanges carry ordering, not time: spread them one
+                # microsecond apart so Perfetto renders them in order.
+                "ts": float(event.sequence),
+                "pid": _PID,
+                "tid": tids[trace_id],
+                "args": {
+                    "segment": event.segment,
+                    "status": event.status,
+                    "request_bytes": event.request_bytes,
+                    "response_bytes_sent": event.response_bytes_sent,
+                    "response_bytes_delivered": event.response_bytes_delivered,
+                    "truncated": event.truncated,
+                    "note": event.note,
+                },
+            }
+        )
+    return out
+
+
+def chrome_trace(spans: Iterable[Any], events: Iterable[Any]) -> Dict[str, Any]:
+    """The full Chrome trace-event JSON object for one run."""
+    return {
+        "traceEvents": chrome_trace_events(spans, events),
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs.export"},
+    }
+
+
+def chrome_trace_from_jsonl(stream: IO[str]) -> Dict[str, Any]:
+    """Build the Chrome trace object from a joined span/exchange JSONL
+    stream (the ``run-all --trace`` output format)."""
+    from repro.netsim.trace import load_joined_jsonl
+
+    events, spans = load_joined_jsonl(stream)
+    return chrome_trace(spans, events)
+
+
+def write_chrome_trace(
+    trace: Mapping[str, Any], path: Union[str, Path]
+) -> Path:
+    """Serialize one Chrome trace object to ``path`` (stable key order)."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(dict(trace), sort_keys=True, indent=1) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def write_prometheus_textfile(
+    snapshot: Mapping[str, Any], path: Union[str, Path]
+) -> Tuple[Path, int]:
+    """Render ``snapshot`` as exposition text and write it atomically.
+
+    ``snapshot`` is a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    dict (the shape run records persist).  The write goes to a
+    same-directory temp file first and lands via ``os.replace`` so a
+    textfile collector never reads a torn file.  Returns the target
+    path and the number of metric families written.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.merge_snapshot(dict(snapshot))
+    content = registry.to_prometheus()
+    target = Path(path)
+    scratch = target.with_name(target.name + ".tmp")
+    scratch.write_text(content, encoding="utf-8")
+    os.replace(scratch, target)
+    return target, len(registry)

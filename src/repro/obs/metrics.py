@@ -44,6 +44,7 @@ RETRY_BACKOFF_SECONDS = "repro_retry_backoff_seconds_total"
 FETCH_ATTEMPTS = "repro_fetch_attempts"
 RECOMMENDATIONS = "repro_recommendations_total"
 RESIDUAL_FACTOR = "repro_residual_factor"
+FASTPATH_CELLS = "repro_fastpath_cells_total"
 
 #: Bucket bounds for the amplification-factor distribution (factors span
 #: ~1 to ~45000 across the paper's tables; roughly log-spaced).
@@ -68,12 +69,23 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((name, str(value)) for name, value in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition format: ``\\``, ``"``, and newlines."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: only ``\\`` and newlines are special."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey) -> str:
     if not key:
         return ""
     inner = ",".join(
-        '{}="{}"'.format(name, value.replace("\\", "\\\\").replace('"', '\\"'))
-        for name, value in key
+        '{}="{}"'.format(name, _escape_label_value(value)) for name, value in key
     )
     return "{" + inner + "}"
 
@@ -261,9 +273,21 @@ class MetricsRegistry:
         return self._get_or_create(Gauge, name, help)
 
     def histogram(
-        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+        self, name: str, help: str = "", buckets: Optional[Sequence[float]] = None
     ) -> Histogram:
-        return self._get_or_create(Histogram, name, help, buckets=buckets)
+        metric = self._get_or_create(
+            Histogram, name, help,
+            buckets=tuple(buckets) if buckets is not None else DEFAULT_BUCKETS,
+        )
+        if buckets is not None and metric.buckets != tuple(buckets):
+            # Same-length different-bounds merges used to corrupt the
+            # distribution silently; any explicit bound disagreement is
+            # misuse.  Omitting ``buckets`` fetches whatever exists.
+            raise MetricError(
+                f"histogram {name!r} already registered with buckets "
+                f"{list(metric.buckets)}, got {list(buckets)}"
+            )
+        return metric
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
@@ -316,7 +340,7 @@ class MetricsRegistry:
         for name in sorted(self._metrics):
             metric = self._metrics[name]
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.type_name}")
             lines.extend(metric.render())
         return "\n".join(lines) + ("\n" if lines else "")
@@ -404,6 +428,13 @@ class MetricsRegistry:
             "residual worst-case factors under recommended mitigations",
             buckets=RESIDUAL_FACTOR_BUCKETS,
         ).observe(residual_factor, kind=kind, mitigation=mitigation)
+
+    def record_fastpath_cells(self, outcome: str, count: int = 1) -> None:
+        """Count fast-path planner decisions by outcome
+        (``answered`` / ``refused`` / ``ineligible`` / ``validated``)."""
+        self.counter(
+            FASTPATH_CELLS, "fast-path planner cell decisions by outcome"
+        ).inc(count, outcome=outcome)
 
     def record_cell(self, experiment: str, seconds: float, ok: bool) -> None:
         self.counter(RUNNER_CELLS, "grid cells executed by status").inc(

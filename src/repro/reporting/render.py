@@ -82,3 +82,17 @@ def format_bytes(count: float) -> str:
             return f"{value:.0f}{unit}" if unit == "B" else f"{value:.2f}{unit}"
         value /= 1024
     raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable wall time: ``840us``, ``12ms``, ``3.42s``, ``2m08s``."""
+    if seconds < 0:
+        raise ValueError(f"duration must be >= 0, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rest:02.0f}s"

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.vectorized import ExactModelError, ObrFastEngine, SbrFastEngine
 from repro.errors import ReproError
+from repro.obs.metrics import current_metrics
 from repro.runner.checkpoint import cell_digest
 from repro.runner.executor import CellOutcome
 from repro.runner.grid import ExperimentCell, ExperimentGrid
@@ -183,6 +184,15 @@ class FastPathPlanner:
         self._answered += answered
         self._refused += refused
         self._ineligible += ineligible
+        registry = current_metrics()
+        if registry is not None:
+            for outcome_name, count in (
+                ("answered", answered),
+                ("refused", refused),
+                ("ineligible", ineligible),
+            ):
+                if count:
+                    registry.record_fastpath_cells(outcome_name, count)
         return FastPathPlan(outcomes=outcomes, residual=residual, stats=self.stats)
 
     # -- cross-validation -----------------------------------------------
@@ -207,6 +217,9 @@ class FastPathPlanner:
                 )
             count += 1
         self._validated += count
+        registry = current_metrics()
+        if registry is not None and count:
+            registry.record_fastpath_cells("validated", count)
         return count
 
     @property

@@ -228,14 +228,20 @@ def run_all(
     if resume and checkpoint_path is None:
         raise ReproError("resume requires a checkpoint path")
 
+    from repro.obs.metrics import MetricsRegistry, use_metrics
+
     phase_seconds: Dict[str, float] = {}
     planner: Optional[FastPathPlanner] = None
     fast_outcomes: Dict[int, CellOutcome] = {}
     subgrid = grid
+    # Runner-level telemetry (fast-path decision counters) records even
+    # when per-cell collection is off, so every run record carries it.
+    runner_registry = MetricsRegistry()
     if not exact and not collect_obs:
         planner = FastPathPlanner()
         phase_started = time.perf_counter()
-        fast_plan = planner.plan(grid)
+        with use_metrics(runner_registry):
+            fast_plan = planner.plan(grid)
         phase_seconds["fastpath"] = time.perf_counter() - phase_started
         fast_outcomes = fast_plan.outcomes
         subgrid = fast_plan.residual
@@ -265,7 +271,8 @@ def run_all(
 
     if planner is not None:
         phase_started = time.perf_counter()
-        planner.validate()
+        with use_metrics(runner_registry):
+            planner.validate()
         phase_seconds["validate"] = time.perf_counter() - phase_started
 
     if fast_outcomes:
@@ -324,8 +331,6 @@ def run_all(
     metrics: Dict[str, Any] = {}
     phase_started = time.perf_counter()
     if collect_obs:
-        from repro.obs.metrics import MetricsRegistry, use_metrics
-
         registry = MetricsRegistry()
         for outcome in result:
             if outcome.obs is None:
@@ -338,6 +343,8 @@ def run_all(
         metrics = registry.snapshot()
     else:
         recommendations = _recommendations()
+        if len(runner_registry):
+            metrics = runner_registry.snapshot()
     phase_seconds["static"] = time.perf_counter() - phase_started
 
     return RunAllReport(

@@ -1,0 +1,140 @@
+"""Tests for the Chrome trace-event and Prometheus textfile exporters."""
+
+import io
+import json
+
+from repro.netsim.trace import TraceEvent, dump_joined_jsonl
+from repro.obs.export import (
+    TRACE_EVENT_KEYS,
+    chrome_trace,
+    chrome_trace_events,
+    chrome_trace_from_jsonl,
+    write_chrome_trace,
+    write_prometheus_textfile,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanRecord
+
+
+def _span(name="cell", trace_id="t1", span_id="s1", parent_id=None,
+          start=1.0, end=2.5):
+    return SpanRecord(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        start=start,
+        end=end,
+        attributes={"vendor": "akamai"},
+    )
+
+
+def _event(sequence=0, trace_id="t1"):
+    return TraceEvent(
+        sequence=sequence,
+        segment="client-cdn",
+        client="attacker",
+        server="edge",
+        connection_index=0,
+        exchange_index=0,
+        status=206,
+        request_bytes=120,
+        response_bytes_sent=900,
+        response_bytes_delivered=900,
+        truncated=False,
+        note="",
+        trace_id=trace_id,
+        span_id="s1",
+    )
+
+
+class TestChromeTraceEvents:
+    def test_every_event_carries_the_required_keys(self):
+        events = chrome_trace_events([_span()], [_event()])
+        assert events
+        for event in events:
+            assert all(key in event for key in TRACE_EVENT_KEYS)
+
+    def test_span_becomes_complete_event_in_microseconds(self):
+        meta, span_event = chrome_trace_events([_span(start=1.0, end=2.5)], [])
+        assert meta["ph"] == "M"
+        assert span_event["ph"] == "X"
+        assert span_event["ts"] == 1.0 * 1e6
+        assert span_event["dur"] == 1.5 * 1e6
+        assert span_event["args"]["vendor"] == "akamai"
+        assert span_event["args"]["span_id"] == "s1"
+
+    def test_exchange_becomes_instant_event_with_byte_args(self):
+        events = chrome_trace_events([], [_event(sequence=7)])
+        instant = events[-1]
+        assert instant["ph"] == "i"
+        assert instant["ts"] == 7.0
+        assert instant["args"]["response_bytes_sent"] == 900
+
+    def test_trace_ids_map_to_stable_thread_lanes(self):
+        spans = [_span(trace_id="t1"), _span(trace_id="t2", span_id="s2")]
+        events = chrome_trace_events(spans, [_event(trace_id="t2")])
+        lanes = {e["args"]["name"]: e["tid"] for e in events if e["ph"] == "M"}
+        assert lanes == {"t1": 1, "t2": 2}
+        assert events[-1]["tid"] == 2  # the t2 exchange rides t2's lane
+
+    def test_untraced_exchange_gets_its_own_lane(self):
+        events = chrome_trace_events([], [_event(trace_id=None)])
+        lanes = {e["args"]["name"]: e["tid"] for e in events if e["ph"] == "M"}
+        assert lanes == {"untraced": 1}
+
+    def test_output_is_deterministic(self):
+        spans, events = [_span()], [_event()]
+        assert chrome_trace_events(spans, events) == chrome_trace_events(
+            spans, events
+        )
+
+
+class TestChromeTraceFile:
+    def test_trace_object_shape(self):
+        trace = chrome_trace([_span()], [_event()])
+        assert isinstance(trace["traceEvents"], list)
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_round_trip_from_joined_jsonl(self):
+        stream = io.StringIO()
+        dump_joined_jsonl([_event()], [_span()], stream)
+        stream.seek(0)
+        trace = chrome_trace_from_jsonl(stream)
+        assert trace == chrome_trace([_span()], [_event()])
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(
+            chrome_trace([_span()], [_event()]), tmp_path / "out.trace.json"
+        )
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        for event in loaded["traceEvents"]:
+            assert all(key in event for key in TRACE_EVENT_KEYS)
+
+
+class TestPrometheusTextfile:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", "hits").inc(3, vendor="akamai")
+        return registry.snapshot()
+
+    def test_writes_exposition_text(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        path, families = write_prometheus_textfile(self._snapshot(), target)
+        assert path == target
+        assert families == 1
+        text = target.read_text(encoding="utf-8")
+        assert 'repro_hits_total{vendor="akamai"} 3' in text
+        assert not (tmp_path / "metrics.prom.tmp").exists()
+
+    def test_replaces_existing_file_atomically(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        target.write_text("stale\n", encoding="utf-8")
+        write_prometheus_textfile(self._snapshot(), target)
+        assert "stale" not in target.read_text(encoding="utf-8")
+
+    def test_empty_snapshot_writes_empty_file(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        _, families = write_prometheus_textfile({}, target)
+        assert families == 0
+        assert target.read_text(encoding="utf-8") == ""

@@ -7,6 +7,7 @@ import pytest
 
 from repro.obs.metrics import (
     AMPLIFICATION_BUCKETS,
+    FASTPATH_CELLS,
     Counter,
     Gauge,
     Histogram,
@@ -112,6 +113,67 @@ class TestSnapshotAndMerge:
         with pytest.raises(MetricError):
             MetricsRegistry().merge_snapshot({"x": {"type": "summary"}})
 
+    def test_merge_same_length_different_bounds_raises(self):
+        # Same bucket *count* but different bounds used to merge
+        # silently, corrupting the distribution; now any bound
+        # disagreement is refused.
+        target = MetricsRegistry()
+        target.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        source = MetricsRegistry()
+        source.histogram("lat", buckets=(1.0, 5.0)).observe(3.0)
+        with pytest.raises(MetricError):
+            target.merge_snapshot(source.snapshot())
+
+    def test_merge_counter_into_gauge_raises(self):
+        target = MetricsRegistry()
+        target.gauge("x").set(1)
+        source = MetricsRegistry()
+        source.counter("x").inc(1)
+        with pytest.raises(MetricError):
+            target.merge_snapshot(source.snapshot())
+
+    def test_merge_gauge_into_counter_raises(self):
+        target = MetricsRegistry()
+        target.counter("x").inc(1)
+        source = MetricsRegistry()
+        source.gauge("x").set(1)
+        with pytest.raises(MetricError):
+            target.merge_snapshot(source.snapshot())
+
+    def test_merge_histogram_into_counter_raises(self):
+        target = MetricsRegistry()
+        target.counter("x").inc(1)
+        source = MetricsRegistry()
+        source.histogram("x", buckets=(1.0,)).observe(0.5)
+        with pytest.raises(MetricError):
+            target.merge_snapshot(source.snapshot())
+
+    def test_merge_disjoint_label_sets_keeps_both(self):
+        target = MetricsRegistry()
+        target.counter("hits").inc(2, vendor="akamai")
+        source = MetricsRegistry()
+        source.counter("hits").inc(3, vendor="fastly")
+        target.merge_snapshot(source.snapshot())
+        counter = target.counter("hits")
+        assert counter.value(vendor="akamai") == 2
+        assert counter.value(vendor="fastly") == 3
+
+    def test_merge_disjoint_histogram_labels_keeps_both(self):
+        target = MetricsRegistry()
+        target.histogram("lat", buckets=(1.0,)).observe(0.5, segment="a")
+        source = MetricsRegistry()
+        source.histogram("lat", buckets=(1.0,)).observe(2.0, segment="b")
+        target.merge_snapshot(source.snapshot())
+        histogram = target.histogram("lat", buckets=(1.0,))
+        assert histogram.count(segment="a") == 1
+        assert histogram.count(segment="b") == 1
+
+    def test_redeclaring_histogram_with_other_bounds_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            registry.histogram("lat", buckets=(1.0, 3.0))
+
 
 class TestPrometheusRender:
     def test_counter_and_gauge_lines(self):
@@ -144,6 +206,27 @@ class TestPrometheusRender:
         assert '\\"hi\\"' in line
         assert "\\\\now" in line
 
+    def test_newline_in_label_value_escaped(self):
+        # A literal newline in a label value would tear the exposition
+        # line in two; it must render as the two characters backslash-n.
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1, note="line1\nline2")
+        text = registry.to_prometheus()
+        (sample_line,) = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert '\\nline2' in sample_line
+        assert "\n" not in sample_line
+
+    def test_newline_and_backslash_in_help_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "first\nsecond \\ third").inc(1)
+        text = registry.to_prometheus()
+        (help_line,) = [
+            line for line in text.splitlines() if line.startswith("# HELP")
+        ]
+        assert help_line == "# HELP c first\\nsecond \\\\ third"
+
 
 class TestConvenienceRecorders:
     def test_record_cache_and_rewrite_and_amplification(self):
@@ -170,6 +253,19 @@ class TestConvenienceRecorders:
         cells = registry.counter("repro_runner_cells_total")
         assert cells.value(status="ok") == 1
         assert cells.value(status="failed") == 1
+
+
+class TestFastPathCounter:
+    def test_record_fastpath_cells_by_outcome(self):
+        registry = MetricsRegistry()
+        registry.record_fastpath_cells("answered", 41)
+        registry.record_fastpath_cells("refused")
+        registry.record_fastpath_cells("validated", 5)
+        counter = registry.counter(FASTPATH_CELLS)
+        assert counter.value(outcome="answered") == 41
+        assert counter.value(outcome="refused") == 1
+        assert counter.value(outcome="validated") == 5
+        assert counter.value(outcome="ineligible") == 0
 
 
 class TestContextPropagation:

@@ -1,0 +1,208 @@
+"""Tests for the ``repro obs`` CLI group and ``--runlog`` emission."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.netsim.trace import TraceEvent, dump_joined_jsonl
+from repro.obs.export import TRACE_EVENT_KEYS
+from repro.obs.runlog import (
+    RUNLOG_SCHEMA_VERSION,
+    CellRecord,
+    RunLedger,
+    RunRecord,
+    config_digest,
+)
+from repro.obs.tracer import SpanRecord
+
+
+def _record(run_id, cells=(), factors=None, label="run-all-quick"):
+    config = {"quick": True}
+    return RunRecord(
+        schema_version=RUNLOG_SCHEMA_VERSION,
+        run_id=run_id,
+        command="run-all",
+        label=label,
+        started_at=1000.0,
+        wall_s=2.0,
+        workers=1,
+        cell_count=len(cells),
+        config=config,
+        config_digest=config_digest(config),
+        cells=tuple(
+            CellRecord(label=name, experiment="sbr", seconds=seconds, ok=True)
+            for name, seconds in cells
+        ),
+        factors=dict(factors or {}),
+        metrics={},
+    )
+
+
+def _ledger(tmp_path, records):
+    path = tmp_path / "runlog.jsonl"
+    ledger = RunLedger(path)
+    for record in records:
+        ledger.append(record)
+    return str(path)
+
+
+class TestObsRuns:
+    def test_lists_records(self, tmp_path, capsys):
+        path = _ledger(tmp_path, [_record("a" * 16), _record("b" * 16)])
+        assert main(["obs", "runs", "--ledger", path]) == 0
+        output = capsys.readouterr().out
+        assert "a" * 16 in output
+        assert "b" * 16 in output
+
+    def test_empty_ledger_is_not_an_error(self, tmp_path, capsys):
+        path = str(tmp_path / "absent.jsonl")
+        assert main(["obs", "runs", "--ledger", path]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_json_format_and_limit(self, tmp_path, capsys):
+        path = _ledger(tmp_path, [_record("a" * 16), _record("b" * 16)])
+        assert main(
+            ["obs", "runs", "--ledger", path, "--limit", "1", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["run_id"] for entry in payload] == ["b" * 16]
+
+
+class TestObsTop:
+    def test_ranks_slowest_cells_first(self, tmp_path, capsys):
+        path = _ledger(
+            tmp_path,
+            [_record("a" * 16, cells=[("fast", 0.1), ("slow", 2.0)])],
+        )
+        assert main(["obs", "top", "--ledger", path, "-n", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "slow" in output
+        assert "fast" not in output
+
+    def test_ranks_trace_spans(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        span = SpanRecord(
+            trace_id="t1", span_id="s1", parent_id=None,
+            name="cell sbr[akamai]", start=0.0, end=3.0,
+        )
+        with open(trace_path, "w", encoding="utf-8") as stream:
+            dump_joined_jsonl([], [span], stream)
+        assert main(["obs", "top", "--trace", str(trace_path)]) == 0
+        assert "cell sbr[akamai]" in capsys.readouterr().out
+
+
+class TestObsDiffGate:
+    def test_gate_passes_on_identical_runs(self, tmp_path, capsys):
+        record = _record("a" * 16, cells=[("a", 1.0)], factors={"sbr:x:1": 10.0})
+        path = _ledger(tmp_path, [record, record])
+        assert main(["obs", "diff", "0", "1", "--ledger", path, "--gate"]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_gate_fails_on_synthetically_slowed_run(self, tmp_path, capsys):
+        before = _record("a" * 16, cells=[("a", 1.0)])
+        after = _record("b" * 16, cells=[("a", 3.0)])
+        path = _ledger(tmp_path, [before, after])
+        assert main(["obs", "diff", "0", "1", "--ledger", path, "--gate"]) == 1
+        assert "GATE:" in capsys.readouterr().err
+
+    def test_gate_fails_on_factor_drift(self, tmp_path, capsys):
+        before = _record("a" * 16, factors={"sbr:x:1": 10.0})
+        after = _record("b" * 16, factors={"sbr:x:1": 11.0})
+        path = _ledger(tmp_path, [before, after])
+        assert main(["obs", "diff", "0", "1", "--ledger", path, "--gate"]) == 1
+        assert "drifted" in capsys.readouterr().err
+
+    def test_without_gate_reports_but_exits_zero(self, tmp_path, capsys):
+        before = _record("a" * 16, cells=[("a", 1.0)])
+        after = _record("b" * 16, cells=[("a", 3.0)])
+        path = _ledger(tmp_path, [before, after])
+        assert main(["obs", "diff", "0", "1", "--ledger", path]) == 0
+        assert "timing regressions" in capsys.readouterr().out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        before = _record("a" * 16, cells=[("a", 1.0)])
+        after = _record("b" * 16, cells=[("a", 3.0)])
+        path = _ledger(tmp_path, [before, after])
+        assert main(
+            ["obs", "diff", "0", "1", "--ledger", path, "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["timing_regressions"][0]["label"] == "a"
+
+    def test_unknown_ref_is_a_clean_error(self, tmp_path, capsys):
+        path = _ledger(tmp_path, [_record("a" * 16)])
+        assert main(["obs", "diff", "0", "zz", "--ledger", path]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObsExport:
+    def test_export_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        span = SpanRecord(
+            trace_id="t1", span_id="s1", parent_id=None,
+            name="cell", start=0.0, end=1.0,
+        )
+        event = TraceEvent(
+            sequence=0, segment="client-cdn", client="a", server="b",
+            connection_index=0, exchange_index=0, status=206,
+            request_bytes=100, response_bytes_sent=900,
+            response_bytes_delivered=900, truncated=False, note="",
+            trace_id="t1", span_id="s1",
+        )
+        with open(trace_path, "w", encoding="utf-8") as stream:
+            dump_joined_jsonl([event], [span], stream)
+        out_path = tmp_path / "out.trace.json"
+        assert main(
+            ["obs", "export-trace", str(trace_path), str(out_path)]
+        ) == 0
+        trace = json.loads(out_path.read_text(encoding="utf-8"))
+        assert trace["traceEvents"]
+        for entry in trace["traceEvents"]:
+            assert all(key in entry for key in TRACE_EVENT_KEYS)
+
+    def test_export_trace_default_output_path(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        with open(trace_path, "w", encoding="utf-8") as stream:
+            dump_joined_jsonl([], [], stream)
+        assert main(["obs", "export-trace", str(trace_path)]) == 0
+        assert (tmp_path / "trace.trace.json").exists()
+
+    def test_export_prom_writes_textfile(self, tmp_path, capsys):
+        record = _record("a" * 16)
+        path = _ledger(tmp_path, [record])
+        out = tmp_path / "metrics.prom"
+        assert main(
+            ["obs", "export-prom", "-1", str(out), "--ledger", path]
+        ) == 0
+        assert out.exists()
+
+
+class TestRunlogEmission:
+    def test_analyze_appends_a_loadable_record(self, tmp_path, capsys):
+        path = str(tmp_path / "runlog.jsonl")
+        assert main(["analyze", "--runlog", path]) == 0
+        assert "runlog: appended" in capsys.readouterr().out
+        (record,) = RunLedger(path).load()
+        assert record.command == "analyze"
+        assert any(key.startswith("bound:") for key in record.factors)
+
+    def test_analyze_json_mode_keeps_stdout_parseable(self, tmp_path, capsys):
+        path = str(tmp_path / "runlog.jsonl")
+        assert main(["analyze", "--format", "json", "--runlog", path]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # must not raise
+        assert "runlog: appended" in captured.err
+
+    def test_recommend_appends_residual_factors(self, tmp_path, capsys):
+        path = str(tmp_path / "runlog.jsonl")
+        assert main(["recommend", "--runlog", path]) == 0
+        (record,) = RunLedger(path).load()
+        assert record.command == "recommend"
+        assert any(key.startswith("residual:") for key in record.factors)
+
+
+def test_obs_requires_a_subcommand():
+    with pytest.raises(SystemExit):
+        main(["obs"])
