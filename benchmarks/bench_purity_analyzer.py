@@ -1,0 +1,46 @@
+"""Benchmark guard for the whole-program determinism analyzer.
+
+Not a paper artifact: the purity pass runs in CI on every push, so its
+cost is part of the development loop.  The call-graph build is linear
+in the AST and the effect propagation is a worklist fixpoint — both
+must stay that way.  Beyond the usual pytest-benchmark timings, the
+full-repo test asserts a hard wall-clock ceiling so the fixpoint can't
+quietly go quadratic: the whole ``src/repro`` analysis (~100 modules,
+~1000 functions) must finish in seconds, not minutes.
+"""
+
+import time
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.purity import analyze_callgraph, analyze_tree
+
+#: Hard ceiling for one full-repo analysis (seconds).  The pass takes
+#: well under a second today; 10s leaves headroom for slow CI runners
+#: while still catching a complexity-class regression.
+FULL_ANALYSIS_CEILING_S = 10.0
+
+
+def test_callgraph_build_full_repo(benchmark):
+    graph = benchmark(build_callgraph)
+    assert len(graph) > 700
+
+
+def test_purity_propagation_only(benchmark):
+    graph = build_callgraph()
+    report = benchmark(analyze_callgraph, graph)
+    assert report.function_count == len(graph)
+
+
+def test_full_analysis_under_ceiling(benchmark):
+    def analyze():
+        start = time.perf_counter()
+        report = analyze_tree()
+        return report, time.perf_counter() - start
+
+    report, elapsed = benchmark(analyze)
+    assert report.module_count > 80
+    assert elapsed < FULL_ANALYSIS_CEILING_S, (
+        f"full-repo purity analysis took {elapsed:.2f}s "
+        f"(ceiling {FULL_ANALYSIS_CEILING_S}s); the fixpoint pass has "
+        "regressed in complexity"
+    )

@@ -11,6 +11,15 @@ Two independent passes (ISSUE 3):
 * **Code analysis** — :mod:`repro.analysis.lint` is an AST linter that
   enforces the repo's wire-accounting and typing invariants; it backs the
   ``repro lint`` CLI command and a pytest guard.
+* **Determinism analysis** — :mod:`repro.analysis.callgraph` builds a
+  whole-program call graph over ``src/repro`` and
+  :mod:`repro.analysis.purity` propagates nondeterminism effects over it
+  to fixpoint, reporting any call path from a nondeterminism source
+  (wall clock, global RNG, ``id()``, env reads, set iteration) to a
+  determinism sink (checkpoint journal, canonical run-record
+  serialization, exporters, artifact writers) that is not laundered
+  through a declared facade.  Backs ``repro purity`` and
+  ``repro lint --deep``.
 * **Defense recommendations** — :func:`~repro.analysis.recommend.recommend`
   turns the findings into the cheapest sufficient mitigation per
   vulnerable vendor/cascade, with residual bounds and dynamic

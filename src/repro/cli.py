@@ -15,7 +15,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.purity import BaselineEntry
 
 from repro.cdn.vendors import all_vendor_names, profile_class
 from repro.core.economics import estimate_obr_campaign, estimate_sbr_campaign
@@ -23,7 +26,7 @@ from repro.core.feasibility import survey
 from repro.core.obr import ObrAttack, vulnerable_combinations
 from repro.core.practical import BandwidthAttackSimulation
 from repro.core.sbr import SbrAttack, exploited_range_cases
-from repro.errors import ReproError
+from repro.errors import ReproError, UsageError
 from repro.reporting.render import format_bytes, render_sparkline, render_table
 from repro.reporting.tables import table1_rows, table2_rows, table3_rows
 
@@ -154,6 +157,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*",
         help="files or directories to lint (default: the installed "
              "repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program determinism (purity) analysis "
+             "over the installed repro package",
+    )
+    lint.add_argument(
+        "--baseline",
+        help="purity suppression baseline for --deep (default: "
+             "purity-baseline.toml when present in the working directory)",
+    )
+
+    purity = commands.add_parser(
+        "purity",
+        help="whole-program determinism analysis: report call paths from "
+             "nondeterminism sources to serialization sinks",
+    )
+    purity.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    purity.add_argument(
+        "--output",
+        help="write the report to this file (a one-line summary still "
+             "goes to stdout)",
+    )
+    purity.add_argument(
+        "--baseline",
+        help="suppression baseline TOML (default: purity-baseline.toml "
+             "when present in the working directory)",
     )
 
     commands.add_parser(
@@ -1126,16 +1163,92 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _load_purity_baseline(
+    option: Optional[str],
+) -> Tuple[List["BaselineEntry"], Optional[str]]:
+    """Resolve the suppression baseline: an explicit ``--baseline`` must
+    exist (usage error otherwise); with no flag, ``purity-baseline.toml``
+    in the working directory is picked up when present."""
+    from pathlib import Path
+
+    from repro.analysis.purity import BASELINE_FILENAME, load_baseline
+
+    if option is not None:
+        return load_baseline(option), option
+    default = Path(BASELINE_FILENAME)
+    if default.is_file():
+        return load_baseline(default), str(default)
+    return [], None
+
+
+def _cmd_purity(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import purity
+
+    entries, baseline_path = _load_purity_baseline(args.baseline)
+    report = purity.analyze_tree(baseline=entries, baseline_path=baseline_path)
+    if args.format == "sarif":
+        rendered = purity.to_sarif_json(report)
+    elif args.format == "json":
+        rendered = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        rendered = purity.render_text(report)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(
+            f"wrote {args.format} report to {args.output}: "
+            f"{len(report.findings)} finding(s), "
+            f"{len(report.unused_suppressions)} unused suppression(s)"
+        )
+    else:
+        print(rendered)
+    return 0 if report.clean else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
     from repro.analysis.lint import lint_paths, lint_repo
 
     findings = lint_paths(args.paths) if args.paths else lint_repo()
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
+    purity_report = None
+    if args.deep:
+        from repro.analysis import purity
+
+        entries, baseline_path = _load_purity_baseline(args.baseline)
+        purity_report = purity.analyze_tree(
+            baseline=entries, baseline_path=baseline_path
+        )
+    if args.format == "json":
+        payload = {
+            "findings": [
+                {
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "rule": finding.rule,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ],
+            "count": len(findings),
+        }
+        if purity_report is not None:
+            payload["purity"] = purity_report.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding)
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+        if purity_report is not None:
+            from repro.analysis.purity import render_text
+
+            print(render_text(purity_report))
+    clean = not findings and (purity_report is None or purity_report.clean)
+    return 0 if clean else 1
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
@@ -1172,6 +1285,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_recommend(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "purity":
+            return _cmd_purity(args)
         if args.command == "matrix":
             return _cmd_matrix()
         if args.command == "report":
@@ -1180,6 +1295,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run_all(args)
         if args.command == "obs":
             return _cmd_obs(args)
+    except UsageError as error:
+        print(f"usage error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

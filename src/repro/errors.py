@@ -13,6 +13,15 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
+class UsageError(ReproError):
+    """The tool was invoked incorrectly (bad flag combination, missing or
+    malformed input file).
+
+    CLI commands map this to exit code 2, distinguishing "you called me
+    wrong" from "I ran and found problems" (exit code 1).
+    """
+
+
 # ---------------------------------------------------------------------------
 # HTTP substrate
 # ---------------------------------------------------------------------------

@@ -137,8 +137,8 @@ class FluidSimulator:
         rates = self._max_min_rates(active)
         moved_per_link: Dict[str, float] = {name: 0.0 for name in self._links}
         counts_per_link: Dict[str, int] = {name: 0 for name in self._links}
-        for transfer in active:
-            rate = rates[id(transfer)]
+        for index, transfer in enumerate(active):
+            rate = rates[index]
             moved = min(transfer.remaining, rate * self.dt)
             transfer.remaining -= moved
             if transfer.done and transfer.finish_time is None:
@@ -158,9 +158,14 @@ class FluidSimulator:
         self._now += self.dt
 
     def _max_min_rates(self, active: Sequence[Transfer]) -> Dict[int, float]:
-        """Progressive-filling max-min fair allocation (bytes/sec)."""
-        rates: Dict[int, float] = {id(t): 0.0 for t in active}
-        unfrozen = {id(t): t for t in active}
+        """Progressive-filling max-min fair allocation (bytes/sec).
+
+        Keyed by position in ``active`` — not ``id()`` — so the rate map
+        is a pure function of the transfer list and two identical runs
+        allocate identically.
+        """
+        rates: Dict[int, float] = {index: 0.0 for index in range(len(active))}
+        unfrozen: Dict[int, Transfer] = dict(enumerate(active))
         remaining_capacity = {
             name: link.capacity_bytes_per_sec for name, link in self._links.items()
         }
@@ -174,8 +179,8 @@ class FluidSimulator:
             if not increments:
                 break
             increment, bottleneck = min(increments)
-            for transfer in list(unfrozen.values()):
-                rates[id(transfer)] += increment
+            for index, transfer in unfrozen.items():
+                rates[index] += increment
                 for name in transfer.links:
                     remaining_capacity[name] -= increment
             # Freeze every transfer crossing the saturated bottleneck.

@@ -109,10 +109,13 @@ class CellFailure:
     @classmethod
     def from_exception(cls, error: BaseException) -> "CellFailure":
         chain: List[str] = []
-        seen: set[int] = set()
+        # Identity-list cycle guard: ``any(... is ...)`` instead of an
+        # ``id()``-keyed set, so no address-derived value exists on this
+        # path.  Cause chains are short; the linear scan is irrelevant.
+        seen: List[BaseException] = []
         current: Optional[BaseException] = error
-        while current is not None and id(current) not in seen:
-            seen.add(id(current))
+        while current is not None and not any(current is prior for prior in seen):
+            seen.append(current)
             chain.append(f"{type(current).__name__}: {current}")
             if current.__cause__ is not None:
                 current = current.__cause__

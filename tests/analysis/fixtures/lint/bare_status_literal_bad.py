@@ -1,0 +1,7 @@
+"""Positive fixture: HTTP status compared against a bare integer."""
+
+from __future__ import annotations
+
+
+def is_partial(status: int) -> bool:
+    return status == 206

@@ -1,0 +1,14 @@
+"""Negative fixture: statuses compared via StatusCode members; and
+integers outside the status set stay out of scope."""
+
+from __future__ import annotations
+
+from repro.http.status import StatusCode
+
+
+def is_partial(status: StatusCode) -> bool:
+    return status is StatusCode.PARTIAL_CONTENT
+
+
+def is_answer(value: int) -> bool:
+    return value == 42

@@ -1,0 +1,17 @@
+"""Positive fixture: bare and broad exception handlers."""
+
+from __future__ import annotations
+
+
+def swallow_all(risky: object) -> bool:
+    try:
+        return bool(risky)
+    except:  # noqa: E722
+        return False
+
+
+def swallow_broad(risky: object) -> bool:
+    try:
+        return bool(risky)
+    except Exception:
+        return False

@@ -1,0 +1,10 @@
+"""Negative fixture: handlers name what they can recover from."""
+
+from __future__ import annotations
+
+
+def tolerate_missing(mapping: dict, key: str) -> object:
+    try:
+        return mapping[key]
+    except (KeyError, TypeError):
+        return None

@@ -1,0 +1,12 @@
+"""Positive fixture (wire-scoped path): recomputing wire sizes by hand."""
+
+from __future__ import annotations
+
+
+def serialized_length(message: object) -> int:
+    return len(message.serialize())
+
+
+def hand_mixed(message: object) -> int:
+    total = message.header_block_size() + len(message.body)
+    return total

@@ -1,0 +1,7 @@
+"""Negative fixture (wire-scoped path): wire_size() does the counting."""
+
+from __future__ import annotations
+
+
+def wire_length(message: object) -> int:
+    return message.wire_size()

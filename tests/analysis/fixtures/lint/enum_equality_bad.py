@@ -1,0 +1,13 @@
+"""Positive fixture: policy enum compared with == / !=."""
+
+from __future__ import annotations
+
+from repro.cdn.policy import ForwardPolicy
+
+
+def is_deletion(policy: ForwardPolicy) -> bool:
+    return policy == ForwardPolicy.DELETION
+
+
+def not_laziness(policy: ForwardPolicy) -> bool:
+    return policy != ForwardPolicy.LAZINESS

@@ -1,0 +1,13 @@
+"""Negative fixture: policy enum compared by identity."""
+
+from __future__ import annotations
+
+from repro.cdn.policy import ForwardPolicy
+
+
+def is_deletion(policy: ForwardPolicy) -> bool:
+    return policy is ForwardPolicy.DELETION
+
+
+def not_laziness(policy: ForwardPolicy) -> bool:
+    return policy is not ForwardPolicy.LAZINESS

@@ -1,0 +1,13 @@
+"""Positive fixture: true division landing in byte-count bindings."""
+
+from __future__ import annotations
+
+
+def split_budget(total_bytes: int, shares: int) -> float:
+    share_bytes = total_bytes / shares
+    return share_bytes
+
+
+def drain(window_traffic: float) -> float:
+    window_traffic /= 2
+    return window_traffic

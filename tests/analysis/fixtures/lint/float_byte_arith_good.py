@@ -1,0 +1,13 @@
+"""Negative fixture: floor division / non-byte names are fine."""
+
+from __future__ import annotations
+
+
+def split_budget(total_bytes: int, shares: int) -> int:
+    share_bytes = total_bytes // shares
+    return share_bytes
+
+
+def ratio(total_bytes: int, baseline: int) -> float:
+    amplification = total_bytes / baseline
+    return amplification

@@ -1,0 +1,5 @@
+"""Positive fixture: missing the __future__ annotations import."""
+
+
+def annotated(value: int) -> int:
+    return value + 1

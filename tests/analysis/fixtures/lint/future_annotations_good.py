@@ -1,0 +1,7 @@
+"""Negative fixture: carries the __future__ annotations import."""
+
+from __future__ import annotations
+
+
+def annotated(value: int) -> int:
+    return value + 1

@@ -1,0 +1,15 @@
+"""Positive fixture: two-member ForwardPolicy chain, no else, one
+member missing."""
+
+from __future__ import annotations
+
+from repro.cdn.policy import ForwardPolicy
+
+
+def describe(policy: ForwardPolicy) -> str:
+    result = "unset"
+    if policy is ForwardPolicy.LAZINESS:
+        result = "lazy"
+    elif policy is ForwardPolicy.DELETION:
+        result = "deleting"
+    return result

@@ -1,0 +1,24 @@
+"""Negative fixtures: every member covered, or an else catches the rest."""
+
+from __future__ import annotations
+
+from repro.cdn.policy import ForwardPolicy
+
+
+def exhaustive(policy: ForwardPolicy) -> str:
+    if policy is ForwardPolicy.LAZINESS:
+        return "lazy"
+    elif policy is ForwardPolicy.DELETION:
+        return "deleting"
+    elif policy is ForwardPolicy.EXPANSION:
+        return "expanding"
+    return "unreachable"
+
+
+def defaulted(policy: ForwardPolicy) -> str:
+    if policy is ForwardPolicy.LAZINESS:
+        return "lazy"
+    elif policy is ForwardPolicy.DELETION:
+        return "deleting"
+    else:
+        return "other"

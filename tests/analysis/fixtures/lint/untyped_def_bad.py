@@ -1,0 +1,11 @@
+"""Positive fixture: unannotated parameter and missing return type."""
+
+from __future__ import annotations
+
+
+def missing_param(value) -> int:
+    return value + 1
+
+
+def missing_return(value: int):
+    return value + 1

@@ -1,0 +1,19 @@
+"""Negative fixture: fully annotated defs (self/cls are exempt)."""
+
+from __future__ import annotations
+
+
+class Holder:
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def doubled(self) -> int:
+        return self.value * 2
+
+    @classmethod
+    def zero(cls) -> "Holder":
+        return cls(0)
+
+
+def variadic(*values: int, **named: int) -> int:
+    return sum(values) + sum(named.values())

@@ -1,0 +1,11 @@
+"""Seeded fixture tree for the purity analyzer tests.
+
+A miniature replica of the repo's shape: a journal sink
+(:mod:`purity_demo.journal`), a wall-clock source
+(:mod:`purity_demo.metrics`), a pipeline connecting them
+(:mod:`purity_demo.pipeline`), and a declared clock facade
+(:mod:`purity_demo.clocked`).  ``tests/analysis/test_purity.py``
+asserts the ``time.time`` -> ``Journal.write`` path is reported with
+the exact source, sink, and call chain — and that routing through the
+facade silences it.
+"""

@@ -1,0 +1,10 @@
+"""The fixture's declared facade: an injectable clock default."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+def now(clock: Optional[Callable[[], float]] = None) -> float:
+    return (clock if clock is not None else time.time)()

@@ -1,0 +1,13 @@
+"""The fixture's determinism sink: an append-only journal."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Journal:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def write(self, line: str) -> None:
+        self.lines.append(line)

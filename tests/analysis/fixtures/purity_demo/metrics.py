@@ -1,0 +1,9 @@
+"""The fixture's nondeterminism source: a raw wall-clock read."""
+
+from __future__ import annotations
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

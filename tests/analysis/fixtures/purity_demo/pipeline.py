@@ -1,0 +1,15 @@
+"""Connects source to sink: the path the analyzer must report."""
+
+from __future__ import annotations
+
+from purity_demo.clocked import now
+from purity_demo.journal import Journal
+from purity_demo.metrics import stamp
+
+
+def flush(journal: Journal) -> None:
+    journal.write(f"t={stamp()}")
+
+
+def flush_via_facade(journal: Journal) -> None:
+    journal.write(f"t={now()}")

@@ -1,0 +1,75 @@
+"""Fixture-file coverage for the PR-3 lint rules.
+
+``tests/analysis/test_lint.py`` checks the rules against inline
+snippets and guards the live tree; this suite drives :func:`lint_file`
+over small on-disk fixture modules under ``tests/analysis/fixtures/
+lint/`` — one positive (rule fires) and one negative (rule stays
+silent) per rule, with the fixture root anchoring the package-scoped
+rules (``core/`` triggers the wire-arith scope exactly like
+``src/repro/core`` does).
+"""
+
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.analysis.lint import LintFinding, lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+#: rule -> (positive fixture, expected finding count, negative fixture).
+CASES = [
+    ("future-annotations", "future_annotations_bad.py", 1, "future_annotations_good.py"),
+    ("untyped-def", "untyped_def_bad.py", 2, "untyped_def_good.py"),
+    ("enum-equality", "enum_equality_bad.py", 2, "enum_equality_good.py"),
+    (
+        "nonexhaustive-dispatch",
+        "nonexhaustive_dispatch_bad.py",
+        1,
+        "nonexhaustive_dispatch_good.py",
+    ),
+    ("bare-status-literal", "bare_status_literal_bad.py", 1, "bare_status_literal_good.py"),
+    ("float-byte-arith", "float_byte_arith_bad.py", 2, "float_byte_arith_good.py"),
+    ("broad-except", "broad_except_bad.py", 2, "broad_except_good.py"),
+    ("adhoc-wire-arith", "core/adhoc_wire_arith_bad.py", 2, "core/adhoc_wire_arith_good.py"),
+]
+
+
+def _findings(fixture: str) -> List[LintFinding]:
+    return lint_file(FIXTURES / fixture, root=FIXTURES)
+
+
+class TestPositiveFixtures:
+    @pytest.mark.parametrize(
+        "rule,fixture,count", [(c[0], c[1], c[2]) for c in CASES], ids=[c[0] for c in CASES]
+    )
+    def test_rule_fires(self, rule: str, fixture: str, count: int) -> None:
+        findings = _findings(fixture)
+        matched = [f for f in findings if f.rule == rule]
+        assert len(matched) == count, [str(f) for f in findings]
+        # The fixture violates exactly one rule — no collateral noise.
+        assert len(findings) == len(matched), [str(f) for f in findings]
+
+    def test_findings_carry_fixture_relative_path(self) -> None:
+        finding = _findings("core/adhoc_wire_arith_bad.py")[0]
+        assert finding.path == "core/adhoc_wire_arith_bad.py"
+        assert finding.line > 0
+
+
+class TestNegativeFixtures:
+    @pytest.mark.parametrize(
+        "rule,fixture", [(c[0], c[3]) for c in CASES], ids=[c[0] for c in CASES]
+    )
+    def test_rule_stays_silent(self, rule: str, fixture: str) -> None:
+        assert _findings(fixture) == []
+
+
+class TestScoping:
+    def test_wire_arith_needs_wire_scope(self) -> None:
+        # The same source outside core/cdn/netsim is out of scope.
+        source = (FIXTURES / "core/adhoc_wire_arith_bad.py").read_text(encoding="utf-8")
+        from repro.analysis.lint import lint_source
+
+        assert lint_source(source, "reporting/out_of_scope.py") == []
+        assert len(lint_source(source, "netsim/in_scope.py")) == 2

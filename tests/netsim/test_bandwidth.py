@@ -116,3 +116,45 @@ class TestSaturation:
         assert all(t.done for t in simulator.transfers)
         # Link goes quiet once the queue drains (100 Mbit / 10 Mbps = 10 s).
         assert simulator.mean_throughput_bps("a", start=11.0, end=15.0) == 0.0
+
+
+class TestDeterminism:
+    """The allocator must be a pure function of the transfer list.
+
+    Regression tests for the id()-keyed rate map flagged by
+    ``repro purity``: rates are now keyed by position in the active
+    list, so two identical simulations — different objects, different
+    addresses — produce byte-identical sample streams.
+    """
+
+    @staticmethod
+    def _run_once():
+        simulator = FluidSimulator(
+            [Link("a", _mbps(10)), Link("b", _mbps(1))], dt=0.1
+        )
+        simulator.add_transfer(1e7, ["a", "b"], label="x")
+        simulator.add_transfer(1e7, ["a"], label="y")
+        simulator.add_transfer(5e6, ["b"], label="z", start_time=0.5)
+        simulator.run(3.0)
+        return simulator
+
+    def test_identical_runs_produce_identical_samples(self):
+        first = self._run_once()
+        second = self._run_once()
+        assert first.transfers != []  # guard against a silent no-op run
+        assert [s for s in first.samples_for("a")] == [
+            s for s in second.samples_for("a")
+        ]
+        assert [s for s in first.samples_for("b")] == [
+            s for s in second.samples_for("b")
+        ]
+        assert [t.remaining for t in first.transfers] == [
+            t.remaining for t in second.transfers
+        ]
+
+    def test_rates_keyed_by_position_not_identity(self):
+        simulator = FluidSimulator([Link("a", _mbps(10))], dt=0.1)
+        transfers = [simulator.add_transfer(1e7, ["a"]) for _ in range(3)]
+        rates = simulator._max_min_rates(transfers)
+        assert sorted(rates) == [0, 1, 2]
+        assert all(rate > 0 for rate in rates.values())

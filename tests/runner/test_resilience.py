@@ -170,3 +170,26 @@ class TestCellFailureChain:
             failure = CellFailure.from_exception(error)
         clone = pickle.loads(pickle.dumps(failure))
         assert clone == failure
+
+
+class TestCellFailureChainDeterminism:
+    """Regression for the id()-keyed cycle guard flagged by
+    ``repro purity``: the guard now compares identity directly, so no
+    address-derived value exists on the checkpoint path."""
+
+    def test_two_node_cycle_terminates(self):
+        first = ValueError("a")
+        second = KeyError("b")
+        first.__cause__ = second
+        second.__cause__ = first
+        failure = CellFailure.from_exception(first)
+        assert failure.chain == ("ValueError: a", "KeyError: 'b'")
+
+    def test_equal_but_distinct_exceptions_both_recorded(self):
+        # Identity (not equality) must drive the cycle guard: two
+        # distinct-but-equal links are both part of the chain.
+        first = ValueError("same")
+        second = ValueError("same")
+        first.__cause__ = second
+        failure = CellFailure.from_exception(first)
+        assert failure.chain == ("ValueError: same", "ValueError: same")
