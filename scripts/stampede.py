@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Stampede load generator for ``repro serve``.
+
+Fires a burst of concurrent ``POST /v1/analyze`` batches at a running
+service and verifies the DoS-hardening contract from the outside:
+
+* every response is either ``200`` (admitted) or ``429`` (shed);
+* every ``429`` carries a ``Retry-After`` header;
+* at overload (concurrency well above ``--max-inflight``) at least one
+  request is shed and at least one is admitted.
+
+Prints a JSON summary to stdout and exits non-zero when the contract is
+violated (any 5xx/connection error, a 429 without Retry-After, or zero
+successes).  Used by the CI ``serve-smoke`` job and the drain test.
+
+Usage::
+
+    PYTHONPATH=src python -m repro serve --port 8437 &
+    python scripts/stampede.py --port 8437 --concurrency 64 --requests 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def build_request(items: int, size: int, deadline_ms: Optional[int]) -> bytes:
+    body = json.dumps(
+        {"items": [{"vendor": "cloudflare", "size": size}] * items}
+    ).encode("utf-8")
+    headers = [
+        "POST /v1/analyze HTTP/1.1",
+        "Host: stampede",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    if deadline_ms is not None:
+        headers.append(f"X-Deadline-Ms: {deadline_ms}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("utf-8") + body
+
+
+def parse_response(raw: bytes) -> Tuple[int, Dict[str, str]]:
+    head = raw.split(b"\r\n\r\n", 1)[0].decode("latin-1", "replace")
+    lines = head.split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def one_request(
+    host: str, port: int, payload: bytes, timeout: float
+) -> Dict[str, Any]:
+    started = time.monotonic()
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout
+        )
+        writer.write(payload)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout)
+        writer.close()
+        status, headers = parse_response(raw)
+        return {
+            "status": status,
+            "retry_after": headers.get("retry-after"),
+            "seconds": time.monotonic() - started,
+        }
+    except Exception as exc:
+        return {"status": 0, "error": f"{type(exc).__name__}: {exc}",
+                "seconds": time.monotonic() - started}
+
+
+async def stampede(args: argparse.Namespace) -> Dict[str, Any]:
+    payload = build_request(args.items, args.size, args.deadline_ms)
+    semaphore = asyncio.Semaphore(args.concurrency)
+
+    async def bounded() -> Dict[str, Any]:
+        async with semaphore:
+            return await one_request(args.host, args.port, payload, args.timeout)
+
+    results = await asyncio.gather(*(bounded() for _ in range(args.requests)))
+    return summarize(list(results))
+
+
+def summarize(results: List[Dict[str, Any]]) -> Dict[str, Any]:
+    by_status: Dict[str, int] = {}
+    errors: List[str] = []
+    missing_retry_after = 0
+    ok_latencies: List[float] = []
+    for result in results:
+        status = result["status"]
+        by_status[str(status)] = by_status.get(str(status), 0) + 1
+        if status == 0:
+            errors.append(result.get("error", "unknown"))
+        elif status == 200:
+            ok_latencies.append(result["seconds"])
+        elif status == 429 and not result.get("retry_after"):
+            missing_retry_after += 1
+    ok_latencies.sort()
+    p50 = ok_latencies[len(ok_latencies) // 2] if ok_latencies else None
+    unexpected = sorted(
+        status for status in by_status if status not in ("200", "429")
+    )
+    return {
+        "requests": len(results),
+        "by_status": dict(sorted(by_status.items())),
+        "ok": by_status.get("200", 0),
+        "shed": by_status.get("429", 0),
+        "p50_ok_seconds": p50,
+        "missing_retry_after": missing_retry_after,
+        "unexpected_statuses": unexpected,
+        "errors": errors[:5],
+    }
+
+
+def verdict(summary: Dict[str, Any], expect_shed: bool) -> int:
+    failures = []
+    if summary["ok"] == 0:
+        failures.append("no request succeeded")
+    if summary["unexpected_statuses"]:
+        failures.append(f"unexpected statuses {summary['unexpected_statuses']}")
+    if summary["missing_retry_after"]:
+        failures.append(f"{summary['missing_retry_after']} 429s lacked Retry-After")
+    if summary["errors"]:
+        failures.append(f"connection errors: {summary['errors']}")
+    if expect_shed and summary["shed"] == 0:
+        failures.append("expected at least one shed (429), saw none")
+    summary["failures"] = failures
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--concurrency", type=int, default=32)
+    parser.add_argument("--requests", type=int, default=128)
+    parser.add_argument("--items", type=int, default=4,
+                        help="batch items per request")
+    parser.add_argument("--size", type=int, default=1 << 20,
+                        help="resource size per item")
+    parser.add_argument("--deadline-ms", type=int, default=None)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--expect-shed", action="store_true",
+                        help="fail unless at least one request was shed")
+    args = parser.parse_args(argv)
+
+    summary = asyncio.run(stampede(args))
+    code = verdict(summary, args.expect_shed)
+    print(json.dumps(summary, indent=2))
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

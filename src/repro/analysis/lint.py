@@ -26,9 +26,12 @@ These are easy invariants to erode one convenient shortcut at a time, so
 * ``float-byte-arith`` — true division never lands in a ``*_bytes`` /
   ``*_size`` / ``*_traffic`` binding; byte counts stay integral.
 * ``broad-except`` — no ``except:`` / ``except Exception`` /
-  ``except BaseException`` outside ``runner/executor.py`` (the one
-  place allowed to contain arbitrary per-cell failures); everywhere
-  else handlers name the specific errors they can recover from.
+  ``except BaseException`` outside the declared fault boundaries
+  (``BROAD_EXCEPT_BOUNDARIES``): the process-pool executor containing
+  arbitrary per-cell failures, and the serve layer, which must survive
+  arbitrary injected-runner failures (the circuit breaker's input) and
+  arbitrary per-connection failures.  Everywhere else handlers name the
+  specific errors they can recover from.
 """
 
 from __future__ import annotations
@@ -71,6 +74,16 @@ _WIRE_SIZE_CALLS = frozenset(
 #: Binding-name suffixes that denote byte counts.
 _BYTE_NAME_SUFFIXES = ("_bytes", "_size", "_traffic")
 
+#: The only files allowed to catch ``Exception``: declared fault
+#: boundaries that contain arbitrary third-party failures —
+#: ``runner/executor.py`` (per-cell failures crossing the process
+#: pool), ``serve/app.py`` (the injected exact runner whose failures
+#: feed the circuit breaker), ``serve/server.py`` (per-connection
+#: isolation: one bad request must never kill the listener).
+BROAD_EXCEPT_BOUNDARIES = frozenset(
+    {"runner/executor.py", "serve/app.py", "serve/server.py"}
+)
+
 
 @dataclass(frozen=True)
 class LintFinding:
@@ -101,7 +114,7 @@ class _Visitor(ast.NodeVisitor):
         self.findings: List[LintFinding] = []
         self.in_wire_scope = rel_path.split("/", 1)[0] in WIRE_SCOPED_PACKAGES
         self.check_status = rel_path != "http/status.py"
-        self.check_broad_except = rel_path != "runner/executor.py"
+        self.check_broad_except = rel_path not in BROAD_EXCEPT_BOUNDARIES
 
     # -- helpers -------------------------------------------------------------
 
@@ -335,7 +348,8 @@ class _Visitor(ast.NodeVisitor):
                         self._add(
                             node,
                             "broad-except",
-                            f"'except {broad}' outside runner/executor.py; "
+                            f"'except {broad}' outside a declared fault "
+                            "boundary; "
                             "name the errors this handler can actually "
                             "recover from",
                         )

@@ -197,6 +197,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "matrix", help="print the vendor x Range-shape policy matrix"
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the DoS-hardened amplification-analysis HTTP service",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8437,
+        help="listen port (0 picks a free one; printed at startup)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="batch worker threads (1 runs batches on the event loop)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="concurrently running batch requests before queueing",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="waiting-room size; beyond it requests are shed with 429",
+    )
+    serve.add_argument(
+        "--default-deadline-ms", type=int, default=2000,
+        help="per-request deadline when X-Deadline-Ms is absent",
+    )
+    serve.add_argument(
+        "--rate-capacity", type=float, default=256.0,
+        help="token-bucket burst size for admission",
+    )
+    serve.add_argument(
+        "--rate-refill", type=float, default=0.0,
+        help="token-bucket refill per second (0 disables rate limiting)",
+    )
+    serve.add_argument(
+        "--drain-grace-s", type=float, default=10.0,
+        help="seconds SIGTERM waits for in-flight work before exiting",
+    )
+    serve.add_argument(
+        "--runlog", default=None,
+        help="run-ledger path; the session's RunRecord is appended on drain",
+    )
+
     report = commands.add_parser(
         "report", help="regenerate every table/figure into a directory"
     )
@@ -916,6 +958,33 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis service until SIGTERM/SIGINT, then drain."""
+    import asyncio
+
+    from repro.serve.app import AnalysisService, ServeConfig
+    from repro.serve.server import serve_until_drained
+
+    config = ServeConfig(
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        default_deadline_ms=args.default_deadline_ms,
+        rate_capacity=args.rate_capacity,
+        rate_refill=args.rate_refill,
+    )
+    service = AnalysisService(config)
+    return asyncio.run(
+        serve_until_drained(
+            service,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            runlog=args.runlog,
+            drain_grace_s=args.drain_grace_s,
+        )
+    )
+
+
 def _cmd_obs_runs(args: argparse.Namespace) -> int:
     import json
 
@@ -1289,6 +1358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_purity(args)
         if args.command == "matrix":
             return _cmd_matrix()
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "run-all":

@@ -12,20 +12,31 @@ paper's §II-B motivation):
 Both work against any deployment (direct origin or through CDNs) and
 double as end-to-end checks that the simulator serves correct bytes to
 well-behaved clients.  Both honor ``Retry-After`` on 5xx responses
-(RFC 7231 §7.1.3): the transfer is re-issued after the advertised
-delta-seconds, up to ``retry_attempts`` tries per segment; the waits
-are tallied (not slept) in :attr:`DownloadReport.waited_s`.
+(RFC 9110 §10.2.3) in either of its two forms — delta-seconds, or an
+absolute HTTP-date anchored against the downloader's injected clock and
+clamped to a non-negative wait.  The transfer is re-issued up to
+``retry_attempts`` tries per segment; the waits are tallied (not slept)
+in :attr:`DownloadReport.waited_s`.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from datetime import timezone
+from email.utils import parsedate_to_datetime
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.deployment import Client, ClientResult, Deployment
 from repro.errors import ReproError
 from repro.http.ranges import parse_content_range
 from repro.http.status import StatusCode
+
+#: Epoch-seconds source used to anchor absolute ``Retry-After`` dates.
+#: Injected so tests pin the wait deterministically; ``time.time`` is
+#: the production edge default.
+Clock = Callable[[], float]
 
 
 class DownloadError(ReproError):
@@ -52,20 +63,46 @@ class DownloadReport:
         return self.bytes_received / self.total_length
 
 
-def _parse_retry_after(value: Optional[str]) -> Optional[float]:
-    """Parse a delta-seconds ``Retry-After`` value.
+def _parse_http_date_wait(text: str, now: Optional[float]) -> Optional[float]:
+    """Seconds to wait for an absolute ``Retry-After`` HTTP-date.
 
-    The HTTP-date form is not produced by this simulation's origin or
-    vendors, so anything non-numeric (or negative) yields ``None`` and
-    the response is treated as final.
+    Needs ``now`` (injected-clock epoch seconds) to anchor the absolute
+    instant; without one the date is unusable and the response is final.
+    A date already in the past clamps to ``0.0`` — "retry immediately",
+    never a negative wait.
+    """
+    if now is None:
+        return None
+    try:
+        when = parsedate_to_datetime(text)
+    except (TypeError, ValueError):
+        return None
+    if when is None:  # pre-3.10 parsedate_to_datetime returns None
+        return None
+    if when.tzinfo is None:
+        # RFC 9110 §5.6.7: a date with no zone is interpreted as GMT.
+        when = when.replace(tzinfo=timezone.utc)
+    return max(0.0, when.timestamp() - now)
+
+
+def _parse_retry_after(
+    value: Optional[str], now: Optional[float] = None
+) -> Optional[float]:
+    """Parse a ``Retry-After`` value (RFC 9110 §10.2.3): delta-seconds
+    or HTTP-date.
+
+    Delta-seconds must be finite and non-negative; the HTTP-date form is
+    anchored against ``now`` and clamped to ``>= 0``.  Garbage (either
+    form) yields ``None`` and the response is treated as final.
     """
     if value is None:
         return None
+    text = value.strip()
     try:
-        seconds = float(value.strip())
+        seconds = float(text)
     except ValueError:
-        return None
-    if seconds < 0:
+        return _parse_http_date_wait(text, now)
+    if seconds < 0 or not math.isfinite(seconds):
         return None
     return seconds
 
@@ -78,6 +115,7 @@ class _TransferTally:
     bytes_received: int = 0
     retries: int = 0
     waited_s: float = 0.0
+    clock: Optional[Clock] = None
 
     def fetch(
         self,
@@ -100,7 +138,10 @@ class _TransferTally:
                 return result
             if attempt >= retry_attempts:
                 return result
-            delay = _parse_retry_after(result.response.headers.get("Retry-After"))
+            delay = _parse_retry_after(
+                result.response.headers.get("Retry-After"),
+                now=self.clock() if self.clock is not None else None,
+            )
             if delay is None:
                 return result
             # Honor the pacing hint without a wall-clock sleep: the
@@ -134,6 +175,7 @@ class SegmentedDownloader:
         deployment: Deployment,
         segments: int = 4,
         retry_attempts: int = 3,
+        clock: Optional[Clock] = None,
     ) -> None:
         if segments < 1:
             raise ValueError(f"segments must be >= 1, got {segments}")
@@ -142,6 +184,7 @@ class SegmentedDownloader:
         self.deployment = deployment
         self.segments = segments
         self.retry_attempts = retry_attempts
+        self.clock: Clock = clock if clock is not None else time.time
 
     def plan(self, total_length: int) -> List[Tuple[int, int]]:
         """Split ``[0, total_length)`` into contiguous inclusive ranges."""
@@ -162,7 +205,7 @@ class SegmentedDownloader:
         """Fetch ``path`` in segments and reassemble."""
         client = self.deployment.client(host=host)
         total = _probe_length(client, path)
-        tally = _TransferTally(requests_sent=1)
+        tally = _TransferTally(requests_sent=1, clock=self.clock)
         pieces: List[bytes] = []
         for start, end in self.plan(total):
             result = tally.fetch(
@@ -208,6 +251,7 @@ class ResumingDownload:
         deployment: Deployment,
         chunk_size: int = 64 * 1024,
         retry_attempts: int = 3,
+        clock: Optional[Clock] = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -216,6 +260,7 @@ class ResumingDownload:
         self.deployment = deployment
         self.chunk_size = chunk_size
         self.retry_attempts = retry_attempts
+        self.clock: Clock = clock if clock is not None else time.time
 
     def download(
         self,
@@ -227,7 +272,7 @@ class ResumingDownload:
         ``interrupt_percent`` of the body and resume from the break-point."""
         client = self.deployment.client(host=host)
         total = _probe_length(client, path)
-        tally = _TransferTally(requests_sent=1)
+        tally = _TransferTally(requests_sent=1, clock=self.clock)
         received = bytearray()
 
         while len(received) < total:

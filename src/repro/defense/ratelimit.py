@@ -47,17 +47,47 @@ class TokenBucket:
             )
         self.tokens = self.capacity
 
-    def allow(self, now: float, cost: float = 1.0) -> bool:
-        """Take ``cost`` tokens at time ``now`` if available."""
+    def _refill(self, now: float) -> None:
         if now > self.last_refill:
             self.tokens = min(
                 self.capacity, self.tokens + (now - self.last_refill) * self.refill_rate
             )
             self.last_refill = now
+
+    def allow(self, now: float, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens at time ``now`` if available."""
+        self._refill(now)
         if self.tokens >= cost:
             self.tokens -= cost
             return True
         return False
+
+    def peek(self, now: float, cost: float = 1.0) -> bool:
+        """Would :meth:`allow` succeed at ``now``?  Takes nothing."""
+        return self.available(now) >= cost
+
+    def available(self, now: float) -> float:
+        """Tokens that would be on hand at ``now`` (no mutation)."""
+        if now <= self.last_refill:
+            return self.tokens
+        return min(
+            self.capacity, self.tokens + (now - self.last_refill) * self.refill_rate
+        )
+
+    def retry_after(self, now: float, cost: float = 1.0) -> float:
+        """Seconds from ``now`` until ``cost`` tokens will be on hand.
+
+        ``0.0`` when the take would succeed immediately; ``inf`` when
+        the bucket can never refill that far (zero rate, or a cost above
+        capacity).  This is the honest ``Retry-After`` value a shedding
+        server should advertise.
+        """
+        shortfall = cost - self.available(now)
+        if shortfall <= 0:
+            return 0.0
+        if self.refill_rate <= 0 or cost > self.capacity:
+            return float("inf")
+        return shortfall / self.refill_rate
 
 
 def key_by_client_header(header: str = "X-Client-Address") -> Callable[[HttpRequest], str]:

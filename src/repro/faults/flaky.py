@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.handler import HttpHandler
 from repro.http.headers import Headers
@@ -23,7 +23,7 @@ class FlakyOrigin(HttpHandler):
         inner: HttpHandler,
         period: int = 2,
         status: int = int(StatusCode.SERVICE_UNAVAILABLE),
-        retry_after: Optional[int] = 1,
+        retry_after: Optional[Union[int, str]] = 1,
     ) -> None:
         if period < 1:
             raise ValueError(f"period must be >= 1, got {period!r}")

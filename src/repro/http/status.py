@@ -13,6 +13,8 @@ class StatusCode(IntEnum):
     BAD_REQUEST = 400
     FORBIDDEN = 403
     NOT_FOUND = 404
+    METHOD_NOT_ALLOWED = 405
+    PAYLOAD_TOO_LARGE = 413
     TOO_MANY_REQUESTS = 429
     REQUEST_HEADER_FIELDS_TOO_LARGE = 431
     RANGE_NOT_SATISFIABLE = 416
@@ -28,6 +30,8 @@ _REASONS = {
     StatusCode.BAD_REQUEST: "Bad Request",
     StatusCode.FORBIDDEN: "Forbidden",
     StatusCode.NOT_FOUND: "Not Found",
+    StatusCode.METHOD_NOT_ALLOWED: "Method Not Allowed",
+    StatusCode.PAYLOAD_TOO_LARGE: "Payload Too Large",
     StatusCode.TOO_MANY_REQUESTS: "Too Many Requests",
     StatusCode.REQUEST_HEADER_FIELDS_TOO_LARGE: "Request Header Fields Too Large",
     StatusCode.RANGE_NOT_SATISFIABLE: "Range Not Satisfiable",

@@ -45,6 +45,14 @@ FETCH_ATTEMPTS = "repro_fetch_attempts"
 RECOMMENDATIONS = "repro_recommendations_total"
 RESIDUAL_FACTOR = "repro_residual_factor"
 FASTPATH_CELLS = "repro_fastpath_cells_total"
+SERVE_REQUESTS = "repro_serve_requests_total"
+SERVE_LATENCY = "repro_serve_request_seconds"
+SERVE_QUEUE_DEPTH = "repro_serve_queue_depth"
+SERVE_INFLIGHT = "repro_serve_inflight"
+SERVE_BREAKER_STATE = "repro_serve_breaker_state"
+SERVE_MEMO_ENTRIES = "repro_serve_memo_entries"
+SERVE_MEMO_EVICTIONS = "repro_serve_memo_evictions"
+SERVE_MEMO_HIT_RATE = "repro_serve_memo_hit_rate"
 
 #: Bucket bounds for the amplification-factor distribution (factors span
 #: ~1 to ~45000 across the paper's tables; roughly log-spaced).
@@ -58,6 +66,11 @@ CELL_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0)
 #: Bucket bounds for back-to-origin fetch attempt counts (the largest
 #: vendor budget today is 4; headroom for custom policies).
 FETCH_ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+#: Bucket bounds for serve request latency (seconds): closed-form
+#: answers land in the sub-millisecond buckets, exact simulations and
+#: queue waits fill the tail.
+SERVE_LATENCY_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+                         1.0, 5.0, 30.0)
 DEFAULT_BUCKETS = (0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
 
 
@@ -435,6 +448,23 @@ class MetricsRegistry:
         self.counter(
             FASTPATH_CELLS, "fast-path planner cell decisions by outcome"
         ).inc(count, outcome=outcome)
+
+    def record_serve_request(
+        self, endpoint: str, outcome: str, seconds: float
+    ) -> None:
+        """Count one service request and observe its latency.
+
+        ``outcome`` is ``ok``, ``shed``, ``deadline``, ``degraded``,
+        ``error``, or ``cancelled``.
+        """
+        self.counter(
+            SERVE_REQUESTS, "serve requests by endpoint and outcome"
+        ).inc(1, endpoint=endpoint, outcome=outcome)
+        self.histogram(
+            SERVE_LATENCY,
+            "serve request latency by endpoint",
+            buckets=SERVE_LATENCY_BUCKETS,
+        ).observe(seconds, endpoint=endpoint)
 
     def record_cell(self, experiment: str, seconds: float, ok: bool) -> None:
         self.counter(RUNNER_CELLS, "grid cells executed by status").inc(

@@ -32,7 +32,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
+
+try:  # advisory file locking is POSIX-only; appends degrade gracefully
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -196,6 +202,32 @@ def _float_map(payload: Mapping[str, Any], key: str) -> Dict[str, float]:
             raise RunLogError(f"run record {key}[{name!r}] must be a number")
         out[str(name)] = float(value)
     return out
+
+
+def record_from_serve(
+    config: Mapping[str, Any],
+    wall_s: float,
+    requests_total: int,
+    metrics: Mapping[str, Any],
+    clock: Optional[Clock] = None,
+    label: str = "serve",
+) -> RunRecord:
+    """Persist one ``repro serve`` session at drain time.
+
+    ``cell_count`` carries the total requests seen (admitted + shed);
+    the per-outcome split lives in the metrics snapshot under
+    ``repro_serve_requests_total``.
+    """
+    return _new_record(
+        "serve",
+        label,
+        config,
+        wall_s,
+        clock,
+        workers=int(config.get("workers", 1)),
+        cell_count=requests_total,
+        metrics=dict(metrics),
+    )
 
 
 def record_from_dict(payload: Mapping[str, Any]) -> RunRecord:
@@ -418,23 +450,43 @@ def record_from_recommendations(
 class RunLedger:
     """An append-only JSONL file of run records.
 
-    Appends are a single ``write()`` of one full line on a handle opened
-    in append mode, then flushed — concurrent writers interleave whole
-    lines, never torn ones, and a killed writer leaves at worst one
-    torn final line, which :meth:`load` skips (any *other* malformed
-    line raises: a corrupt middle means the file was edited, and the
-    strict loader refuses to guess).
+    Appends are **multi-writer safe**: each record goes down as one
+    ``os.write`` of the full line on a raw ``O_APPEND`` descriptor —
+    no userspace buffering that could flush half a line — under an
+    advisory ``fcntl.flock`` exclusive lock where the platform offers
+    one.  ``O_APPEND`` alone keeps independent single writes from
+    landing at the same offset; the lock additionally serializes the
+    (pathological) short-write continuation loop, so concurrent
+    processes interleave whole lines, never torn ones — pinned by the
+    multiprocess hammer in ``tests/obs/test_runlog_concurrent.py``.  A
+    killed writer leaves at worst one torn final line, which
+    :meth:`load` skips (any *other* malformed line raises: a corrupt
+    middle means the file was edited, and the strict loader refuses to
+    guess).
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
 
     def append(self, record: RunRecord) -> RunRecord:
-        """Append one record; flushed before returning."""
-        line = record.to_json() + "\n"
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.flush()
+        """Append one record; durably written before returning."""
+        payload = (record.to_json() + "\n").encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                except OSError:  # pragma: no cover - e.g. NFS without locks
+                    pass  # advisory only; O_APPEND still applies per write
+            view = memoryview(payload)
+            while view:
+                written = os.write(fd, view)
+                view = view[written:]
+        finally:
+            # Closing the descriptor releases any flock it held.
+            os.close(fd)
         return record
 
     def load(self) -> List[RunRecord]:

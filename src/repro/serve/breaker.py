@@ -1,0 +1,117 @@
+"""A circuit breaker guarding the exact-simulation path.
+
+Closed-form bounds answer in microseconds; an exact wire simulation is
+the expensive, fallible part of an analysis request.  The breaker wraps
+that path with the standard three-state machine:
+
+* **closed** — exact simulations run; ``failure_threshold`` consecutive
+  failures (errors *or* over-budget runs) trip the breaker;
+* **open** — exact simulations are refused outright and callers degrade
+  to bounds-only answers, until ``reset_timeout_s`` has elapsed;
+* **half-open** — up to ``half_open_probes`` trial simulations are let
+  through: all succeeding closes the breaker, any failing re-opens it
+  and restarts the timeout.
+
+Time comes in through ``now`` arguments, never from a wall clock, so
+every transition is deterministic under test.
+"""
+
+from __future__ import annotations
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Numeric gauge encoding for /metrics (stable, documented order).
+STATE_GAUGE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Three-state breaker with injected time.
+
+    Callers ask :meth:`allow` before each protected call and report the
+    result with :meth:`record_success` / :meth:`record_failure`.  A
+    refused call is not a failure — only real outcomes move the state
+    machine.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 5.0,
+        half_open_probes: int = 1,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout_s <= 0:
+            raise ValueError(f"reset_timeout_s must be > 0, got {reset_timeout_s}")
+        if half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1, got {half_open_probes}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_probes = half_open_probes
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.transitions = 0
+        self._probes_issued = 0
+        self._probe_successes = 0
+
+    # -- state machine ------------------------------------------------------
+
+    def _transition(self, state: str, now: float) -> None:
+        self.state = state
+        self.transitions += 1
+        if state == OPEN:
+            self.opened_at = now
+            self.consecutive_failures = 0
+        elif state == HALF_OPEN:
+            self._probes_issued = 0
+            self._probe_successes = 0
+        else:  # CLOSED
+            self.consecutive_failures = 0
+
+    def allow(self, now: float) -> bool:
+        """May a protected call proceed at ``now``?
+
+        In the open state this is also where the reset timeout is
+        noticed: the first ``allow`` after expiry flips to half-open and
+        admits a probe.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self.opened_at < self.reset_timeout_s:
+                return False
+            self._transition(HALF_OPEN, now)
+        # HALF_OPEN: admit only the configured number of probes.
+        if self._probes_issued < self.half_open_probes:
+            self._probes_issued += 1
+            return True
+        return False
+
+    def record_success(self, now: float) -> None:
+        if self.state == HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_probes:
+                self._transition(CLOSED, now)
+            return
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        if self.state == HALF_OPEN:
+            self._transition(OPEN, now)
+            return
+        self.consecutive_failures += 1
+        if self.state == CLOSED and self.consecutive_failures >= self.failure_threshold:
+            self._transition(OPEN, now)
+
+    def gauge_value(self) -> float:
+        """The state encoded for the ``repro_serve_breaker_state`` gauge."""
+        return STATE_GAUGE[self.state]
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self.consecutive_failures})"
+        )

@@ -276,6 +276,18 @@ class TestBroadExcept:
         assert rules_for(snippet, rel_path="runner/executor.py") == []
         assert "broad-except" in rules_for(snippet, rel_path="runner/other.py")
 
+    def test_serve_fault_boundaries_are_exempt(self):
+        snippet = """
+        def f() -> None:
+            try:
+                pass
+            except Exception:
+                pass
+        """
+        assert rules_for(snippet, rel_path="serve/app.py") == []
+        assert rules_for(snippet, rel_path="serve/server.py") == []
+        assert "broad-except" in rules_for(snippet, rel_path="serve/other.py")
+
 
 class TestRepoIsClean:
     def test_lint_repo_finds_nothing(self):

@@ -1,0 +1,99 @@
+"""``Retry-After`` parsing: both RFC 9110 forms plus garbage input.
+
+The delta-seconds form needs no clock; the HTTP-date form is absolute,
+so the wait is anchored against an injected epoch clock and clamped to
+``>= 0`` — a server advertising a date already in the past means "retry
+immediately", never a negative sleep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clienttools.downloader import SegmentedDownloader, _parse_retry_after
+from repro.cdn.vendors.base import VendorConfig
+from repro.core.deployment import CdnSpec, Deployment
+from repro.faults import FlakyOrigin
+from repro.origin.resource import Resource
+from repro.origin.server import OriginServer
+
+#: Fri, 07 Aug 2026 00:00:00 GMT as epoch seconds.
+ANCHOR = 1786060800.0
+ANCHOR_DATE = "Fri, 07 Aug 2026 00:00:00 GMT"
+
+
+class TestDeltaSeconds:
+    def test_plain_and_padded_numbers(self):
+        assert _parse_retry_after("3") == 3.0
+        assert _parse_retry_after(" 2.5 ") == 2.5
+        assert _parse_retry_after("0") == 0.0
+
+    def test_garbage_is_final(self):
+        assert _parse_retry_after(None) is None
+        assert _parse_retry_after("soon") is None
+        assert _parse_retry_after("-1") is None
+        assert _parse_retry_after("inf") is None
+        assert _parse_retry_after("nan") is None
+        assert _parse_retry_after("") is None
+
+
+class TestHttpDate:
+    def test_future_date_yields_the_remaining_wait(self):
+        assert _parse_retry_after(ANCHOR_DATE, now=ANCHOR - 120.0) == 120.0
+
+    def test_past_date_clamps_to_zero(self):
+        assert _parse_retry_after(ANCHOR_DATE, now=ANCHOR + 3600.0) == 0.0
+
+    def test_exact_now_is_zero(self):
+        assert _parse_retry_after(ANCHOR_DATE, now=ANCHOR) == 0.0
+
+    def test_date_without_a_clock_is_unusable(self):
+        # No ``now`` to anchor against: the absolute form is ignored.
+        assert _parse_retry_after(ANCHOR_DATE) is None
+
+    def test_zoneless_date_is_interpreted_as_gmt(self):
+        assert (
+            _parse_retry_after("Fri, 07 Aug 2026 00:00:00", now=ANCHOR - 60.0)
+            == 60.0
+        )
+
+    def test_garbage_dates_are_final(self):
+        assert _parse_retry_after("Someday, 99 Foo 2026", now=ANCHOR) is None
+        assert _parse_retry_after("Fri, 99 Aug", now=ANCHOR) is None
+
+
+class TestDownloaderHonorsHttpDate:
+    def _deployment(self, retry_after):
+        origin = OriginServer()
+        origin.add_resource(
+            Resource(path="/file.bin", body=bytes(range(256)) * 100)
+        )
+        deployment = Deployment.single(
+            CdnSpec(vendor="gcore", config=VendorConfig(bypass_cache=True)),
+            origin,
+        )
+        node = deployment.nodes[-1]
+        node.upstream = FlakyOrigin(node.upstream, period=2, retry_after=retry_after)
+        return deployment
+
+    def test_date_form_waits_are_tallied_deterministically(self):
+        """503s advertise an absolute date 90 s past the injected clock;
+        every retried segment tallies exactly that wait."""
+        downloader = SegmentedDownloader(
+            self._deployment(ANCHOR_DATE),
+            segments=2,
+            clock=lambda: ANCHOR - 90.0,
+        )
+        report = downloader.download("/file.bin")
+        assert report.retries == 2
+        assert report.waited_s == pytest.approx(180.0)
+
+    def test_stale_date_means_immediate_retry(self):
+        downloader = SegmentedDownloader(
+            self._deployment(ANCHOR_DATE),
+            segments=2,
+            clock=lambda: ANCHOR + 10.0,
+        )
+        report = downloader.download("/file.bin")
+        assert report.retries == 2
+        assert report.waited_s == 0.0

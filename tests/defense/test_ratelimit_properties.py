@@ -1,0 +1,113 @@
+"""Property tests for the generalized :class:`TokenBucket`.
+
+The bucket is the serve layer's admission primitive, so its invariants
+carry DoS weight: a negative token count would let a stampede overdraw
+the budget, an over-capacity count would defeat the burst bound, and a
+non-monotone refill would make ``Retry-After`` advice dishonest.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.defense.ratelimit import TokenBucket
+
+_capacities = st.floats(min_value=0.5, max_value=100.0, allow_nan=False)
+# Either no refill at all or a rate far from the subnormal range —
+# tiny denormal rates make wait = shortfall/rate overflow float
+# precision, which is a float artifact, not a limiter property.
+_rates = st.one_of(
+    st.just(0.0), st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+)
+_costs = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+_steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),  # dt
+        _costs,
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacity=_capacities, rate=_rates, steps=_steps)
+def test_tokens_stay_within_bounds(capacity, rate, steps):
+    """Tokens never go negative and never exceed capacity, whatever the
+    interleaving of takes and elapsed time."""
+    bucket = TokenBucket(capacity=capacity, refill_rate=rate)
+    now = 0.0
+    for dt, cost in steps:
+        now += dt
+        bucket.allow(now, cost=cost)
+        assert bucket.tokens >= 0.0
+        assert bucket.tokens <= capacity + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    capacity=_capacities,
+    rate=_rates,
+    cost=_costs,
+    drain=st.integers(min_value=0, max_value=20),
+    t1=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    t2=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_refill_is_monotone_in_elapsed_time(capacity, rate, cost, drain, t1, t2):
+    """More elapsed time never means fewer available tokens (peek view)."""
+    bucket = TokenBucket(capacity=capacity, refill_rate=rate)
+    for _ in range(drain):
+        bucket.allow(0.0, cost=cost)
+    earlier, later = sorted((t1, t2))
+    assert bucket.available(earlier) <= bucket.available(later) + 1e-9
+    # available() and peek() must not mutate: asking twice agrees.
+    assert bucket.available(later) == bucket.available(later)
+    assert bucket.peek(later, cost) == bucket.peek(later, cost)
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacity=_capacities, rate=_rates, cost=_costs, spend=st.integers(0, 30))
+def test_retry_after_is_honest(capacity, rate, cost, spend):
+    """Waiting exactly ``retry_after`` seconds makes the take succeed,
+    and a strictly shorter wait keeps failing (when finite)."""
+    bucket = TokenBucket(capacity=capacity, refill_rate=rate)
+    now = 0.0
+    for _ in range(spend):
+        bucket.allow(now)
+    wait = bucket.retry_after(now, cost=cost)
+    assert wait >= 0.0
+    if math.isinf(wait):
+        assert rate == 0.0 or cost > capacity
+        return
+    assert bucket.peek(now + wait + 1e-6, cost=cost)
+    if wait > 1e-6:
+        assert not bucket.peek(now + wait * 0.5, cost=cost)
+
+
+def test_retry_after_zero_when_tokens_on_hand():
+    bucket = TokenBucket(capacity=5, refill_rate=1.0)
+    assert bucket.retry_after(0.0) == 0.0
+    assert bucket.peek(0.0)
+
+
+def test_retry_after_counts_down_as_time_passes():
+    bucket = TokenBucket(capacity=2, refill_rate=0.5)
+    assert bucket.allow(0.0) and bucket.allow(0.0)
+    # Empty at t=0; one token costs 2 s at 0.5 tokens/s.
+    assert bucket.retry_after(0.0) == 2.0
+    assert bucket.retry_after(1.0) == 1.0
+    assert bucket.retry_after(2.0) == 0.0
+
+
+def test_retry_after_infinite_without_refill():
+    bucket = TokenBucket(capacity=1, refill_rate=0.0)
+    assert bucket.allow(0.0)
+    assert math.isinf(bucket.retry_after(0.0))
+
+
+def test_cost_above_capacity_never_satisfiable():
+    bucket = TokenBucket(capacity=2, refill_rate=10.0)
+    assert math.isinf(bucket.retry_after(0.0, cost=3.0))

@@ -1,0 +1,42 @@
+"""Shared helpers for the serve tests: fake clocks, request builders."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.http.message import HttpRequest
+
+
+class FakeClock:
+    """A deterministic clock: optionally ticks per call, or advances
+    only when told to."""
+
+    def __init__(self, now: float = 0.0, tick: float = 0.0) -> None:
+        self.now = now
+        self.tick = tick
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def batch_request(path: str, items, headers=()) -> HttpRequest:
+    body = json.dumps({"items": items}).encode("utf-8")
+    pairs = [("Content-Length", str(len(body))), ("Content-Type", "application/json")]
+    pairs.extend(headers)
+    return HttpRequest(method="POST", target=path, headers=pairs, body=body)
+
+
+def body_json(response):
+    return json.loads(response.body.materialize().decode("utf-8"))
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()

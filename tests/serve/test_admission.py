@@ -1,0 +1,128 @@
+"""Admission control: admit / enqueue / shed accounting and policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.defense.ratelimit import TokenBucket
+from repro.serve.admission import ADMIT, ENQUEUE, SHED, AdmissionController
+
+
+def make(max_inflight=2, queue_depth=2, **kwargs):
+    return AdmissionController(max_inflight, queue_depth, **kwargs)
+
+
+class TestCapacity:
+    def test_admits_until_max_inflight(self):
+        controller = make(max_inflight=2)
+        assert controller.decide(0.0).outcome == ADMIT
+        assert controller.decide(0.0).outcome == ADMIT
+        assert controller.inflight == 2
+
+    def test_then_enqueues_until_queue_depth(self):
+        controller = make(max_inflight=1, queue_depth=2)
+        assert controller.decide(0.0).outcome == ADMIT
+        assert controller.decide(0.0).outcome == ENQUEUE
+        assert controller.decide(0.0).outcome == ENQUEUE
+        assert controller.queued == 2
+
+    def test_then_sheds_queue_full_with_a_retry_hint(self):
+        controller = make(max_inflight=1, queue_depth=1)
+        controller.decide(0.0)
+        controller.decide(0.0)
+        decision = controller.decide(0.0)
+        assert decision.outcome == SHED
+        assert decision.reason == "queue-full"
+        assert decision.retry_after_s > 0
+
+    def test_zero_queue_depth_sheds_immediately_at_saturation(self):
+        controller = make(max_inflight=1, queue_depth=0)
+        controller.decide(0.0)
+        assert controller.decide(0.0).outcome == SHED
+
+
+class TestLifecycle:
+    def test_release_frees_a_slot_for_the_next_admit(self):
+        controller = make(max_inflight=1, queue_depth=0)
+        controller.decide(0.0)
+        controller.release(0.1)
+        assert controller.inflight == 0
+        assert controller.decide(1.0).outcome == ADMIT
+
+    def test_promote_moves_queued_to_inflight(self):
+        controller = make(max_inflight=1, queue_depth=1)
+        controller.decide(0.0)
+        controller.decide(0.0)
+        controller.release(0.1)
+        controller.promote()
+        assert controller.inflight == 1
+        assert controller.queued == 0
+
+    def test_leave_queue_counts_as_shed(self):
+        controller = make(max_inflight=1, queue_depth=1)
+        controller.decide(0.0)
+        controller.decide(0.0)
+        before = controller.shed_total
+        controller.leave_queue()
+        assert controller.queued == 0
+        assert controller.shed_total == before + 1
+
+    def test_misuse_raises_instead_of_corrupting_counters(self):
+        controller = make()
+        with pytest.raises(RuntimeError):
+            controller.release(0.0)
+        with pytest.raises(RuntimeError):
+            controller.promote()
+        with pytest.raises(RuntimeError):
+            controller.leave_queue()
+
+    def test_release_feeds_the_ewma_estimate(self):
+        controller = make(initial_service_estimate_s=0.1, ewma_alpha=0.5)
+        controller.decide(0.0)
+        controller.release(0.3)
+        assert controller.service_estimate_s == pytest.approx(0.2)
+
+
+class TestRateLimiting:
+    def test_bucket_exhaustion_sheds_with_the_bucket_retry_after(self):
+        bucket = TokenBucket(capacity=2, refill_rate=1.0)
+        controller = make(max_inflight=10, bucket=bucket)
+        assert controller.decide(0.0).outcome == ADMIT
+        assert controller.decide(0.0).outcome == ADMIT
+        decision = controller.decide(0.0)
+        assert decision.outcome == SHED
+        assert decision.reason == "rate"
+        assert decision.retry_after_s == pytest.approx(1.0)
+
+    def test_bucket_refills_with_time(self):
+        bucket = TokenBucket(capacity=1, refill_rate=1.0)
+        controller = make(max_inflight=10, bucket=bucket)
+        controller.decide(0.0)
+        assert controller.decide(0.0).outcome == SHED
+        controller.release(0.01)
+        assert controller.decide(1.5).outcome == ADMIT
+
+
+class TestWaitBudget:
+    def test_predicted_wait_beyond_budget_sheds_before_queueing(self):
+        controller = make(
+            max_inflight=1,
+            queue_depth=100,
+            max_queue_wait_s=1.0,
+            initial_service_estimate_s=0.6,
+        )
+        controller.decide(0.0)  # admit
+        assert controller.decide(0.0).outcome == ENQUEUE  # predicted 0.6s
+        decision = controller.decide(0.0)  # predicted 1.2s > 1.0s budget
+        assert decision.outcome == SHED
+        assert decision.reason == "wait-budget"
+        assert decision.retry_after_s == pytest.approx(1.2)
+
+    def test_estimated_wait_scales_with_position_and_parallelism(self):
+        controller = make(
+            max_inflight=2, queue_depth=10, initial_service_estimate_s=0.5
+        )
+        assert controller.estimated_wait_s(0) == 0.0
+        assert controller.estimated_wait_s(1) == pytest.approx(0.5)
+        assert controller.estimated_wait_s(2) == pytest.approx(0.5)
+        assert controller.estimated_wait_s(3) == pytest.approx(1.0)

@@ -1,0 +1,102 @@
+"""The circuit breaker's three-state machine under an injected clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make(threshold=3, reset=5.0, probes=1):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        reset_timeout_s=reset,
+        half_open_probes=probes,
+    )
+
+
+class TestClosed:
+    def test_allows_and_stays_closed_on_success(self):
+        breaker = make()
+        for t in range(10):
+            assert breaker.allow(float(t))
+            breaker.record_success(float(t))
+        assert breaker.state == CLOSED
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make(threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)
+        breaker.record_failure(3.0)
+        breaker.record_failure(4.0)
+        assert breaker.state == CLOSED  # never three *consecutive*
+
+    def test_consecutive_failures_trip_it(self):
+        breaker = make(threshold=3)
+        for t in range(3):
+            breaker.record_failure(float(t))
+        assert breaker.state == OPEN
+
+
+class TestOpen:
+    def test_refuses_until_the_reset_timeout(self):
+        breaker = make(threshold=1, reset=5.0)
+        breaker.record_failure(100.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(100.0)
+        assert not breaker.allow(104.9)
+
+    def test_timeout_expiry_flips_to_half_open_and_admits_a_probe(self):
+        breaker = make(threshold=1, reset=5.0)
+        breaker.record_failure(100.0)
+        assert breaker.allow(105.0)
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def test_probe_success_closes(self):
+        breaker = make(threshold=1, reset=5.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.0)
+        breaker.record_success(5.1)
+        assert breaker.state == CLOSED
+        assert breaker.allow(5.2)
+
+    def test_probe_failure_reopens_and_restarts_the_timeout(self):
+        breaker = make(threshold=1, reset=5.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.0)
+        breaker.record_failure(5.1)
+        assert breaker.state == OPEN
+        assert not breaker.allow(9.0)  # timeout restarted at 5.1
+        assert breaker.allow(10.2)
+
+    def test_only_the_configured_probes_are_admitted(self):
+        breaker = make(threshold=1, reset=5.0, probes=2)
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.0)
+        assert breaker.allow(5.0)
+        assert not breaker.allow(5.0)  # both probe slots taken
+        breaker.record_success(5.1)
+        assert breaker.state == HALF_OPEN  # one success is not enough
+        breaker.record_success(5.2)
+        assert breaker.state == CLOSED
+
+
+class TestValidationAndGauge:
+    def test_bad_parameters_are_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+    def test_gauge_encoding_is_stable(self):
+        breaker = make(threshold=1)
+        assert breaker.gauge_value() == 0.0
+        breaker.record_failure(0.0)
+        assert breaker.gauge_value() == 2.0
+        breaker.allow(99.0)
+        assert breaker.gauge_value() == 1.0

@@ -1,0 +1,104 @@
+"""Cancellation safety: killing an in-flight batch leaves no debris.
+
+The async driver yields to the event loop between items, so a
+cancellation lands on an item boundary.  These tests cancel a batch
+mid-flight and assert the invariants ISSUE.md names: no memo-cache
+corruption, no leaked tasks, and the service still returns well-formed
+responses afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.app import AnalysisService, ServeConfig
+from tests.serve.conftest import batch_request, body_json
+
+KB = 1024
+
+
+def counting_service(processed):
+    """A service whose exact runner records each item it computes."""
+
+    def runner(vendor, size):
+        processed.append((vendor, size))
+        return 9.0
+
+    return AnalysisService(
+        ServeConfig(default_deadline_ms=20000), exact_runner=runner
+    )
+
+
+def exact_items(n):
+    return [
+        {"vendor": "fastly", "size": KB * (i + 1), "exact": True}
+        for i in range(n)
+    ]
+
+
+class TestCancelMidBatch:
+    def test_cancelled_batch_leaves_service_consistent(self):
+        asyncio.run(self._cancel_mid_batch())
+
+    async def _cancel_mid_batch(self):
+        processed = []
+        service = counting_service(processed)
+        request = batch_request("/v1/analyze", exact_items(8))
+
+        tasks_before = asyncio.all_tasks()
+        batch = asyncio.create_task(service.handle_async(request))
+        while len(processed) < 3:
+            await asyncio.sleep(0)
+        batch.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await batch
+
+        # Cancellation landed on an item boundary: some items ran fully,
+        # the rest never started.
+        completed = len(processed)
+        assert 3 <= completed < 8
+
+        # The cancelled outcome is recorded, and no orphan task remains.
+        counter = service.metrics.counter("repro_serve_requests_total")
+        assert counter.value(endpoint="analyze", outcome="cancelled") == 1
+        await asyncio.sleep(0)
+        assert asyncio.all_tasks() == tasks_before
+
+        # The memo holds exactly the completed items — no half-written
+        # entries for the items the cancellation cut off.
+        findings = service.memo.table("findings")
+        assert len(findings) == completed
+        assert findings.stats.misses == completed
+
+        # A follow-up request is well-formed and reuses the cached work.
+        response = await service.handle_async(request)
+        assert response.status == 200
+        payload = body_json(response)
+        assert len(payload["results"]) == 8
+        assert payload["partial"] is False
+        assert all("finding" in item for item in payload["results"])
+        assert findings.stats.hits == completed
+        assert findings.stats.misses == 8  # only the cut-off items recompute
+
+    def test_cancel_before_first_item_is_clean(self):
+        asyncio.run(self._cancel_immediately())
+
+    async def _cancel_immediately(self):
+        processed = []
+        service = counting_service(processed)
+        batch = asyncio.create_task(
+            service.handle_async(batch_request("/v1/analyze", exact_items(4)))
+        )
+        batch.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await batch
+        assert processed == []
+        assert len(service.memo.table("findings")) == 0
+        # The service still answers.
+        response = await service.handle_async(
+            batch_request("/v1/analyze", [{"vendor": "azure", "size": KB}])
+        )
+        assert response.status == 200
+        assert body_json(response)["partial"] is False

@@ -1,0 +1,132 @@
+"""End-to-end: the ``repro serve`` subprocess and the stampede client.
+
+This is the acceptance scenario run for real: boot the CLI server in a
+child process, talk to it over TCP, stampede it past its admission
+limits, SIGTERM it, and check the exit code and the run ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.request
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+STAMPEDE = os.path.join(REPO, "scripts", "stampede.py")
+
+
+def spawn_server(runlog, *extra):
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--max-inflight", "2",
+            "--queue-depth", "2",
+            "--runlog", str(runlog),
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline().strip()
+    # "repro serve: listening on 127.0.0.1:PORT"
+    assert line.startswith("repro serve: listening on "), line
+    port = int(line.rsplit(":", 1)[1])
+    return proc, port
+
+
+def finish(proc):
+    try:
+        out, err = proc.communicate(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        out, err = proc.communicate()
+        raise AssertionError(f"server did not drain\nstdout={out}\nstderr={err}")
+    return out, err
+
+
+@pytest.fixture
+def server(tmp_path):
+    runlog = tmp_path / "runlog.jsonl"
+    proc, port = spawn_server(runlog)
+    try:
+        yield proc, port, runlog
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+
+class TestServeSubprocess:
+    def test_sigterm_drains_to_exit_zero_and_writes_the_ledger(self, server):
+        from repro.obs.runlog import RunLedger
+
+        proc, port, runlog = server
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/healthz", timeout=10
+        ) as resp:
+            assert resp.status == 200
+            assert json.load(resp) == {"status": "ok"}
+
+        body = json.dumps(
+            {"items": [{"vendor": "cloudflare", "size": 1 << 20}]}
+        ).encode()
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/v1/analyze",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            payload = json.load(resp)
+        assert payload["results"][0]["finding"]["kind"] == "sbr"
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = finish(proc)
+        assert proc.returncode == 0
+        assert "repro serve: drained" in out
+
+        records = RunLedger(runlog).load()
+        assert len(records) == 1
+        assert records[0].command == "serve"
+        assert records[0].cell_count == 1  # healthz bypasses admission
+        assert "repro_serve_requests_total" in records[0].metrics
+
+    def test_stampede_at_ten_times_max_inflight_sees_only_200_and_429(
+        self, server
+    ):
+        proc, port, runlog = server
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+        result = subprocess.run(
+            [
+                sys.executable, STAMPEDE,
+                "--port", str(port),
+                "--concurrency", "20",  # 10x --max-inflight 2
+                "--requests", "60",
+                "--items", "8",
+                "--expect-shed",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        summary = json.loads(result.stdout)
+        statuses = {int(code) for code in summary["by_status"]}
+        assert statuses <= {200, 429}
+        assert summary["missing_retry_after"] == 0
+        assert summary["errors"] == []
+        assert summary["by_status"].get("429", 0) > 0
+
+        proc.send_signal(signal.SIGTERM)
+        finish(proc)
+        assert proc.returncode == 0
