@@ -450,7 +450,8 @@ class AnalysisService:
             return _Item.invalid(tail)
         size, exact, threshold = tail
         return _Item(
-            kind="obr", fcdn=fcdn, bcdn=bcdn, size=size, threshold=threshold
+            kind="obr", fcdn=fcdn, bcdn=bcdn, size=size, exact=exact,
+            threshold=threshold,
         )
 
     def _parse_tail(

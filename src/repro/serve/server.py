@@ -69,7 +69,10 @@ class ServeServer:
         #: to the ledger's default wall clock.
         self.wall_clock = wall_clock
         self._server: Optional[asyncio.AbstractServer] = None
-        self._pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
+        # Batch work always runs on worker threads — even with one
+        # worker — so a slow exact simulation can never stall the event
+        # loop (health probes, socket reads, queue-wait timers).
+        self._pool = ThreadPoolExecutor(max_workers=workers)
         self._waiters: Deque["asyncio.Future[None]"] = deque()
         self._open_connections = 0
         self._draining = False
@@ -123,8 +126,7 @@ class ServeServer:
         assert self._server is not None
         await self._server.wait_closed()
         await self._await_quiescence()
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        self._pool.shutdown(wait=True)
         self.flush_run_record()
         if announce:
             print("repro serve: drained", flush=True)
@@ -292,12 +294,10 @@ class ServeServer:
             return self.service.shed_response(request, decision)
         started = self.service.clock()
         try:
-            if self._pool is not None:
-                loop = asyncio.get_running_loop()
-                return await loop.run_in_executor(
-                    self._pool, self.service.handle, request
-                )
-            return await self.service.handle_async(request)
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._pool, self.service.handle, request
+            )
         finally:
             admission.release(self.service.clock() - started)
             self._promote_next()
@@ -313,13 +313,24 @@ class ServeServer:
             )
             return True
         except asyncio.TimeoutError:
-            try:
-                self._waiters.remove(future)
-            except ValueError:
-                # Promoted concurrently with the timeout: take the slot.
-                return True
-            self.service.admission.leave_queue()
-            return False
+            return self._resolve_queue_timeout(future)
+
+    def _resolve_queue_timeout(self, future: "asyncio.Future[None]") -> bool:
+        """Reconcile a queue-wait timeout against concurrent promotion.
+
+        On 3.10/3.11, ``wait_for`` cancels the future and yields to the
+        loop before raising, so :meth:`_promote_next` may pop the
+        already-cancelled future and skip it without ``promote()``.
+        Only a future holding a *result* was really promoted; a
+        cancelled one never got the slot and still counts as queued.
+        """
+        try:
+            self._waiters.remove(future)
+        except ValueError:
+            if not future.cancelled():
+                return True  # promoted concurrently: take the slot
+        self.service.admission.leave_queue()
+        return False
 
     def _promote_next(self) -> None:
         admission = self.service.admission

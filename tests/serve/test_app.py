@@ -128,6 +128,28 @@ class TestAnalyzeBatch:
         assert all("error" in item for item in results[:4])
         assert results[4]["finding"]["subject"] == "azure"
 
+    def test_exact_on_obr_items_is_skipped_with_an_explanation(self):
+        calls = []
+
+        def runner(vendor, size):
+            calls.append((vendor, size))
+            return 1.0
+
+        service = AnalysisService(exact_runner=runner)
+        response = service.handle(
+            batch_request(
+                "/v1/analyze",
+                [{"fcdn": "cdn77", "bcdn": "akamai", "size": KB, "exact": True}],
+            )
+        )
+        assert response.status == 200
+        payload = body_json(response)
+        assert payload["results"][0]["exact_skipped"] == (
+            "exact measurement applies to SBR items only"
+        )
+        assert payload["degraded"] is False
+        assert calls == []  # the exact runner never fires for OBR
+
     def test_answers_match_the_analyze_command(self):
         from repro.analysis.report import analyze_vendor_matrix
 

@@ -14,6 +14,7 @@ import threading
 
 import pytest
 
+from repro.serve.admission import ADMIT, ENQUEUE
 from repro.serve.app import AnalysisService, ServeConfig
 from repro.serve.server import ServeServer
 
@@ -108,6 +109,115 @@ class TestSaturationShedding:
             # The shed outcome reached the metrics too.
             counter = service.metrics.counter("repro_serve_requests_total")
             assert counter.value(endpoint="analyze", outcome="shed") == 2
+        finally:
+            gate.set()
+            server.initiate_drain()
+
+
+class TestQueueTimeoutReconciliation:
+    """The ``wait_for`` cancel-then-raise window (3.10/3.11) must not
+    leak queue slots or fake a promotion.
+
+    Each test stages the exact post-timeout state ``_wait_in_queue``
+    can observe and checks :meth:`ServeServer._resolve_queue_timeout`
+    keeps the admission counters truthful.
+    """
+
+    def make_server(self):
+        service = AnalysisService(
+            ServeConfig(max_inflight=1, queue_depth=4, max_queue_wait_s=30.0)
+        )
+        return service, ServeServer(service, port=0)
+
+    def test_timeout_with_future_still_queued_leaves_cleanly(self):
+        asyncio.run(self._still_queued())
+
+    async def _still_queued(self):
+        service, server = self.make_server()
+        assert service.admission.decide(0.0).outcome == ADMIT
+        assert service.admission.decide(0.0).outcome == ENQUEUE
+        future = asyncio.get_running_loop().create_future()
+        server._waiters.append(future)
+        future.cancel()  # what wait_for does on timeout
+        assert server._resolve_queue_timeout(future) is False
+        assert not server._waiters
+        assert service.admission.queued == 0
+        assert service.admission.inflight == 1
+
+    def test_timeout_racing_a_real_promotion_takes_the_slot(self):
+        asyncio.run(self._real_promotion())
+
+    async def _real_promotion(self):
+        service, server = self.make_server()
+        assert service.admission.decide(0.0).outcome == ADMIT
+        assert service.admission.decide(0.0).outcome == ENQUEUE
+        future = asyncio.get_running_loop().create_future()
+        server._waiters.append(future)
+        # The running request finishes and promotes us just as the
+        # timeout lands: the future holds a result, so we keep the slot.
+        service.admission.release(0.0)
+        server._promote_next()
+        assert future.done() and not future.cancelled()
+        assert server._resolve_queue_timeout(future) is True
+        assert service.admission.queued == 0
+        assert service.admission.inflight == 1
+
+    def test_timeout_racing_a_cancelled_pop_releases_the_queue_slot(self):
+        asyncio.run(self._cancelled_pop())
+
+    async def _cancelled_pop(self):
+        service, server = self.make_server()
+        assert service.admission.decide(0.0).outcome == ADMIT
+        assert service.admission.decide(0.0).outcome == ENQUEUE
+        future = asyncio.get_running_loop().create_future()
+        server._waiters.append(future)
+        # The regression: wait_for cancels the future, then a release
+        # pops-and-skips it before TimeoutError propagates.  No
+        # promotion happened, so we must leave the queue — the old code
+        # claimed the slot and leaked the queued count.
+        future.cancel()
+        service.admission.release(0.0)
+        server._promote_next()
+        assert not server._waiters
+        assert server._resolve_queue_timeout(future) is False
+        assert service.admission.queued == 0
+        assert service.admission.inflight == 0
+
+
+class TestLoopResponsiveness:
+    def test_healthz_answers_while_the_single_worker_is_blocked(self):
+        asyncio.run(self._scenario())
+
+    async def _scenario(self):
+        gate = threading.Event()
+
+        def blocking_runner(vendor, size):
+            assert gate.wait(timeout=30.0)
+            return 3.0
+
+        service = AnalysisService(
+            ServeConfig(max_inflight=2), exact_runner=blocking_runner
+        )
+        server = ServeServer(service, port=0, workers=1)
+        await server.start()
+        payload = analyze_payload(
+            [{"vendor": "cloudflare", "size": 64 * KB, "exact": True}],
+            deadline_ms=20000,
+        )
+        try:
+            batch = asyncio.create_task(raw_roundtrip(server.port, payload))
+            await wait_until(lambda: service.admission.inflight == 1)
+            # The only worker thread is parked mid-simulation; the
+            # event loop must still serve liveness probes promptly.
+            raw = await asyncio.wait_for(
+                raw_roundtrip(
+                    server.port, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+                ),
+                timeout=5.0,
+            )
+            assert parse_head(raw)[0] == 200
+            gate.set()
+            assert parse_head(await batch)[0] == 200
         finally:
             gate.set()
             server.initiate_drain()
