@@ -11,10 +11,17 @@ repo root, enforce:
 2. the run's wall clock has not regressed more than MAX_WALL_REGRESSION
    times the committed baseline (a coarse tripwire; machines differ, so
    the bound is deliberately loose);
-3. answering the SBR/OBR measurement cells is at least MIN_MEASURE_SPEEDUP
-   times faster through the fast path than through wire-level simulation,
-   compared within this job via the derived "measure" phase — the like-
-   for-like basis (Fig 7 flood cells simulate identically in both modes).
+3. answering the SBR/OBR/CCFC measurement cells is at least
+   MIN_MEASURE_SPEEDUP times faster through the fast path than through
+   wire-level simulation, compared within this job via the derived
+   "measure" phase — the like-for-like basis (Fig 7 flood cells simulate
+   identically in both modes).
+
+All three files must carry the current benchmark schema version: the
+run-all grid gained CCFC cells in schema version 2, so cell counts and
+phase totals from older builds are not comparable.  A stale committed
+baseline fails here with a pointer to the regeneration command instead
+of silently gating against incomparable numbers.
 
 Usage:
     python scripts/check_bench.py --current BENCH.json --exact BENCH_exact.json \
@@ -26,7 +33,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.reporting.bench import BenchReport, load_bench
+from repro.reporting.bench import BenchReport, BenchSchemaError, load_bench
 
 #: The acceptance floor: fast path must answer the measurement cells at
 #: least this many times faster than simulating them.
@@ -86,9 +93,22 @@ def main(argv=None) -> int:
     parser.add_argument("--exact", required=True, help="sim-only BENCH file")
     parser.add_argument("--baseline", required=True, help="committed baseline")
     args = parser.parse_args(argv)
-    return check(
-        load_bench(args.current), load_bench(args.exact), load_bench(args.baseline)
-    )
+    try:
+        current = load_bench(args.current)
+        exact = load_bench(args.exact)
+        baseline = load_bench(args.baseline)
+    except BenchSchemaError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        print(
+            "hint: if the committed baseline predates the current schema "
+            "(e.g. version 1, before the grid gained CCFC cells), "
+            "regenerate it with:\n"
+            "  PYTHONPATH=src python -m repro run-all --quick --workers 1 "
+            "--no-progress --bench BENCH_runall.json",
+            file=sys.stderr,
+        )
+        return 1
+    return check(current, exact, baseline)
 
 
 if __name__ == "__main__":

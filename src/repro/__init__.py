@@ -9,7 +9,11 @@ taps — and on top of it the paper's two attacks:
   of the origin (:class:`repro.core.sbr.SbrAttack`);
 * **OBR** (Overlapping Byte Ranges): n overlapping ranges through a lazy
   front CDN, an n-part multipart out of the back CDN
-  (:class:`repro.core.obr.ObrAttack`).
+  (:class:`repro.core.obr.ObrAttack`);
+* **CCFC** (Compression Format Conversion, arXiv 2409.00712): the edge
+  rewrites Accept-Encoding upstream, pulls a compressed body from the
+  origin, and ships the decompressed bytes to an identity-only client
+  (:class:`repro.core.ccfc.CcfcAttack`).
 
 Quickstart::
 
@@ -30,6 +34,7 @@ from repro.clienttools.downloader import ResumingDownload, SegmentedDownloader
 from repro.core.amplification import AmplificationReport
 from repro.core.cachebusting import CacheBuster
 from repro.core.campaign import CampaignResult, SbrCampaign
+from repro.core.ccfc import CcfcAttack, CcfcResult
 from repro.core.connection_drop import ConnectionDropAttack, compare_with_sbr
 from repro.core.deployment import CdnSpec, Client, Deployment
 from repro.core.economics import estimate_obr_campaign, estimate_sbr_campaign
@@ -69,6 +74,8 @@ __all__ = [
     "BandwidthRunResult",
     "CacheBuster",
     "CampaignResult",
+    "CcfcAttack",
+    "CcfcResult",
     "CdnSpec",
     "Client",
     "ConnectionDropAttack",

@@ -29,20 +29,25 @@ Two independent passes (ISSUE 3):
 from __future__ import annotations
 
 from repro.analysis.bounds import (
+    CcfcBound,
     ObrBound,
     ProfileFactory,
     SbrBound,
+    ccfc_bound,
     obr_bound,
+    profile_ccfc_bound,
     profile_sbr_bound,
     sbr_bound,
     static_max_n,
 )
 from repro.analysis.classify import (
     CascadeClassification,
+    CcfcClassification,
     ObrBackendFacts,
     ProbeDecision,
     SbrClassification,
     classify_cascade,
+    classify_ccfc,
     classify_obr_backend,
     classify_obr_frontend,
     classify_sbr,
@@ -68,6 +73,8 @@ from repro.analysis.report import (
 __all__ = [
     "AnalysisReport",
     "CascadeClassification",
+    "CcfcBound",
+    "CcfcClassification",
     "Finding",
     "MitigationOption",
     "MitigationSpec",
@@ -82,11 +89,14 @@ __all__ = [
     "VerificationCheck",
     "analyze_deployment",
     "analyze_vendor_matrix",
+    "ccfc_bound",
     "classify_cascade",
+    "classify_ccfc",
     "classify_obr_backend",
     "classify_obr_frontend",
     "classify_sbr",
     "obr_bound",
+    "profile_ccfc_bound",
     "profile_sbr_bound",
     "recommend",
     "render_findings_table",

@@ -625,6 +625,81 @@ def _part_overhead_upper(boundary: str, content_type: str, resource_size: int) -
     return delimiter + ct_line + cr_line + blank + trailing
 
 
+@dataclass(frozen=True)
+class CcfcBound:
+    """Static worst-case bound for one CCFC cell (vendor × size).
+
+    Unlike the SBR/OBR bounds, which over/under-estimate independently,
+    the CCFC numbers are **exact**: they come from the closed-form
+    mirror in :meth:`repro.core.ccfc.CcfcAttack.mirror`, which replays
+    the byte-defining code paths (the profile's fetch flow, a real
+    origin, the node's conversion/finalize helpers) at O(1) cost in the
+    resource size.  ``bound == simulated factor`` therefore holds with
+    equality on every cell, pinned by the cross-check tests.
+    """
+
+    vendor: str
+    resource_size: int
+    rounds: int
+    #: Coding the origin serves under the vendor's rewrite (``None`` for
+    #: the safe vendors — identity fallback, factor ~1).
+    encoding: Optional[str]
+    #: Exact victim-side (client-cdn) response bytes.
+    victim_bytes_upper: int
+    #: Exact attacker-side (cdn-origin) response bytes.
+    attacker_bytes_lower: int
+
+    @property
+    def factor(self) -> float:
+        """The exact amplification factor the simulation reports."""
+        if self.attacker_bytes_lower <= 0:
+            return 0.0
+        return self.victim_bytes_upper / self.attacker_bytes_lower
+
+
+def profile_ccfc_bound(
+    vendor: str,
+    profile_factory: Optional[ProfileFactory],
+    resource_size: int,
+    rounds: int = 1,
+    overhead: Optional[OverheadModel] = None,
+) -> CcfcBound:
+    """Worst-case CCFC bound, optionally against a substituted profile.
+
+    ``profile_factory=None`` bounds the registry vendor;
+    a factory bounds the wrapped/mitigated profile under the same
+    attack request (the recommendation engine's residual).
+    """
+    from repro.core.ccfc import CcfcAttack
+
+    result = CcfcAttack(
+        vendor,
+        resource_size=resource_size,
+        overhead=overhead,
+        profile_factory=profile_factory,
+    ).mirror(rounds=rounds)
+    return CcfcBound(
+        vendor=vendor,
+        resource_size=resource_size,
+        rounds=rounds,
+        encoding=result.encoding,
+        victim_bytes_upper=result.client_traffic,
+        attacker_bytes_lower=result.origin_traffic,
+    )
+
+
+def ccfc_bound(
+    vendor: str,
+    resource_size: int,
+    rounds: int = 1,
+    overhead: Optional[OverheadModel] = None,
+) -> CcfcBound:
+    """Closed-form CCFC amplification for one registry vendor × size."""
+    return profile_ccfc_bound(
+        vendor, None, resource_size, rounds=rounds, overhead=overhead
+    )
+
+
 __all__ = [
     "CDN_HEADER_ALLOWANCE",
     "MULTIPART_CLOSER_ALLOWANCE",
@@ -632,12 +707,15 @@ __all__ = [
     "ORIGIN_HEADER_ALLOWANCE",
     "PAD_HEADER_SLACK",
     "RESPONSE_WIRE_FLOOR",
+    "CcfcBound",
     "FaultedSbrBound",
     "ObrBound",
     "ProfileFactory",
     "SbrBound",
+    "ccfc_bound",
     "faulted_sbr_bound",
     "obr_bound",
+    "profile_ccfc_bound",
     "profile_sbr_bound",
     "sbr_bound",
     "static_max_n",

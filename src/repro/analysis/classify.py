@@ -28,7 +28,12 @@ from typing import Callable, Optional, Tuple
 from repro.cdn.multirange import MultiRangeReplyBehavior
 from repro.cdn.policy import ForwardPolicy
 from repro.cdn.vendors import create_profile
-from repro.cdn.vendors.base import VendorConfig, VendorContext, VendorProfile
+from repro.cdn.vendors.base import (
+    EncodingPolicy,
+    VendorConfig,
+    VendorContext,
+    VendorProfile,
+)
 from repro.http.message import HttpRequest
 from repro.http.ranges import try_parse_range_header
 
@@ -293,6 +298,76 @@ def classify_cascade(
         lazy_probes=lazy,
         requires_bypass=requires_bypass,
         backend=classify_obr_backend(bcdn),
+    )
+
+
+@dataclass(frozen=True)
+class CcfcClassification:
+    """Whether (and why) one vendor is CCFC-vulnerable.
+
+    Pure decision-table read (arXiv 2409.00712 Table 3): the vendor's
+    ``Accept-Encoding`` treatment, its edge decompression policy, and
+    the best compression ratio among the codings it requests upstream.
+    """
+
+    vendor: str
+    display_name: str
+    encoding_policy: EncodingPolicy
+    edge_accept_encoding: Tuple[str, ...]
+    edge_decompresses: bool
+    #: Smallest compression ratio among the upstream-requested codings —
+    #: the inflation driver (``None`` when the edge requests nothing).
+    min_ratio: Optional[float]
+
+    @property
+    def vulnerable(self) -> bool:
+        """Rewrite + edge decompression + a coding that actually shrinks."""
+        return (
+            self.encoding_policy is EncodingPolicy.REWRITE
+            and self.edge_decompresses
+            and self.min_ratio is not None
+            and self.min_ratio < 1.0
+        )
+
+    @property
+    def mechanism(self) -> str:
+        """The exploitation (or safety) mechanism, for the findings report."""
+        if self.encoding_policy is EncodingPolicy.REWRITE:
+            if not self.edge_decompresses:
+                return "rewrite-no-decompress"
+            if self.min_ratio is None or self.min_ratio >= 1.0:
+                return "rewrite-incompressible"
+            return "rewrite+decompress"
+        return self.encoding_policy.value
+
+
+def classify_ccfc(
+    vendor: str,
+    profile_factory: Optional[ProfileFactory] = None,
+) -> CcfcClassification:
+    """Statically classify one vendor's CCFC susceptibility.
+
+    A vendor amplifies exactly when it *rewrites* the client's
+    ``Accept-Encoding`` toward the origin, *decompresses* at the edge
+    for clients that cannot accept the stored coding, and at least one
+    requested coding actually compresses (ratio < 1).  Forwarding or
+    stripping vendors let the origin fall back to identity; Tencent's
+    rewrite-without-decompression relays the compressed bytes as-is.
+    """
+    profile = (
+        profile_factory() if profile_factory is not None else create_profile(vendor)
+    )
+    ratios = [
+        profile.compression_ratios.get(coding.lower(), 1.0)
+        for coding in profile.edge_accept_encoding
+    ]
+    return CcfcClassification(
+        vendor=vendor,
+        display_name=profile.display_name,
+        encoding_policy=profile.encoding_policy,
+        edge_accept_encoding=tuple(profile.edge_accept_encoding),
+        edge_decompresses=profile.edge_decompresses,
+        min_ratio=min(ratios) if ratios else None,
     )
 
 

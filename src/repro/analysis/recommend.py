@@ -41,6 +41,7 @@ from repro.analysis.bounds import (
     FaultedSbrBound,
     ProfileFactory,
     obr_bound,
+    profile_ccfc_bound,
     profile_sbr_bound,
     static_max_n,
 )
@@ -53,6 +54,8 @@ from repro.analysis.report import (
 from repro.cdn.vendors import create_profile
 from repro.defense.mitigations import (
     with_bounded_expansion,
+    with_encoding_normalization,
+    with_encoding_passthrough,
     with_laziness,
     with_overlap_rejection,
     with_slicing,
@@ -171,11 +174,34 @@ OBR_MITIGATIONS: Tuple[MitigationSpec, ...] = (
     ),
 )
 
+#: CCFC candidates, cheapest first.  Pass-through is a pure config flip
+#: (stop rewriting Accept-Encoding, stop decompressing); normalization
+#: keeps edge decompression support but clamps the upstream negotiation
+#: to what the client offered, which costs an ingress header guard.
+CCFC_MITIGATIONS: Tuple[MitigationSpec, ...] = (
+    MitigationSpec(
+        "encoding-passthrough",
+        "cdn",
+        COST_CONFIG_ONLY,
+        0,
+        "forward the client's Accept-Encoding untouched (identity pass-through)",
+    ),
+    MitigationSpec(
+        "encoding-normalization",
+        "cdn",
+        COST_HEADER_GUARD,
+        1,
+        "clamp upstream Accept-Encoding to codings the client accepts",
+    ),
+)
+
 _WRAPPERS = {
     "laziness": with_laziness,
     "bounded-expansion": with_bounded_expansion,
     "overlap-rejection": with_overlap_rejection,
     "slicing": with_slicing,
+    "encoding-passthrough": with_encoding_passthrough,
+    "encoding-normalization": with_encoding_normalization,
 }
 
 
@@ -269,6 +295,7 @@ class RecommendationReport:
     resource_size: int
     obr_resource_size: int
     with_retries: bool
+    ccfc_resource_size: int = 10 * MB
 
     @property
     def unresolved(self) -> Tuple[Recommendation, ...]:
@@ -287,6 +314,7 @@ class RecommendationReport:
                 "threshold": self.threshold,
                 "resource_size": self.resource_size,
                 "obr_resource_size": self.obr_resource_size,
+                "ccfc_resource_size": self.ccfc_resource_size,
                 "with_retries": self.with_retries,
                 "all_resolved": self.all_resolved,
                 "recommendations": [r.to_dict() for r in self.recommendations],
@@ -321,6 +349,19 @@ def sbr_faulted_residual_bound(
     return FaultedSbrBound(
         base=base, max_attempts=retry_policy_for(vendor).max_attempts
     ).factor
+
+
+def ccfc_residual_bound(
+    vendor: str, mitigation: str, resource_size: int
+) -> float:
+    """Worst-case CCFC factor after wrapping ``vendor`` in ``mitigation``.
+
+    CCFC bounds are exact (the closed form replays the byte-defining
+    paths), so the residual is the factor the mitigated edge actually
+    delivers — ~1.0 for pass-through and normalization, since the origin
+    then only serves codings the client accepts."""
+    factory = mitigation_profile_factory(vendor, mitigation)
+    return profile_ccfc_bound(vendor, factory, resource_size).factor
 
 
 def _obr_factories(
@@ -415,6 +456,27 @@ def _recommend_sbr(
     )
 
 
+def _recommend_ccfc(
+    finding: Finding, ccfc_resource_size: int, threshold: float
+) -> Recommendation:
+    vendor = finding.subject
+    options = []
+    for spec in CCFC_MITIGATIONS:
+        residual = ccfc_residual_bound(vendor, spec.name, ccfc_resource_size)
+        options.append(
+            MitigationOption(
+                spec=spec,
+                residual_factor=residual,
+                faulted_residual_factor=None,
+                threshold=threshold,
+            )
+        )
+    chosen, rejected = _pick(options)
+    return Recommendation(
+        finding=finding, chosen=chosen, rejected=rejected, threshold=threshold
+    )
+
+
 def _recommend_obr(
     finding: Finding, obr_resource_size: int, threshold: float
 ) -> Recommendation:
@@ -442,6 +504,7 @@ def recommend(
     threshold: float = DEFAULT_THRESHOLD,
     with_retries: bool = False,
     report: Optional[AnalysisReport] = None,
+    ccfc_resource_size: int = 10 * MB,
 ) -> RecommendationReport:
     """Recommend the cheapest sufficient mitigation per vulnerable finding.
 
@@ -453,13 +516,19 @@ def recommend(
         raise ConfigurationError(f"threshold must be > 0, got {threshold}")
     if report is None:
         report = analyze_vendor_matrix(
-            resource_size=resource_size, obr_resource_size=obr_resource_size
+            resource_size=resource_size,
+            obr_resource_size=obr_resource_size,
+            ccfc_resource_size=ccfc_resource_size,
         )
     recommendations: List[Recommendation] = []
     for finding in report.vulnerable:
         if finding.kind == "sbr":
             recommendation = _recommend_sbr(
                 finding, resource_size, threshold, with_retries
+            )
+        elif finding.kind == "ccfc":
+            recommendation = _recommend_ccfc(
+                finding, ccfc_resource_size, threshold
             )
         else:
             recommendation = _recommend_obr(finding, obr_resource_size, threshold)
@@ -471,6 +540,7 @@ def recommend(
         resource_size=resource_size,
         obr_resource_size=obr_resource_size,
         with_retries=with_retries,
+        ccfc_resource_size=ccfc_resource_size,
     )
 
 
@@ -517,7 +587,9 @@ def verify_recommendation(
 ) -> List[VerificationCheck]:
     """Simulate the attack under the chosen mitigation and compare the
     measured factor against the residual bound (sim <= bound must hold,
-    same contract as the clean bounds)."""
+    same contract as the clean bounds; for CCFC the bound is exact, so
+    the check is equality up to the <= comparison)."""
+    from repro.core.ccfc import CcfcAttack
     from repro.core.obr import ObrAttack
     from repro.core.sbr import SbrAttack
 
@@ -536,6 +608,26 @@ def verify_recommendation(
             checks.append(
                 VerificationCheck(
                     kind="sbr",
+                    subject=vendor,
+                    mitigation=spec.label,
+                    resource_size=size,
+                    simulated_factor=result.amplification,
+                    residual_bound=bound,
+                )
+            )
+        return checks
+
+    if recommendation.kind == "ccfc":
+        vendor = recommendation.subject
+        factory = mitigation_profile_factory(vendor, spec.name)
+        for size in sizes:
+            bound = profile_ccfc_bound(vendor, factory, size).factor
+            result = CcfcAttack(
+                vendor, resource_size=size, profile_factory=factory
+            ).run()
+            checks.append(
+                VerificationCheck(
+                    kind="ccfc",
                     subject=vendor,
                     mitigation=spec.label,
                     resource_size=size,
@@ -645,6 +737,7 @@ def render_recommendations_table(report: RecommendationReport) -> str:
 
 
 __all__ = [
+    "CCFC_MITIGATIONS",
     "DEFAULT_THRESHOLD",
     "COST_CONFIG_ONLY",
     "COST_FETCH_FLOW",
@@ -657,6 +750,7 @@ __all__ = [
     "Recommendation",
     "RecommendationReport",
     "VerificationCheck",
+    "ccfc_residual_bound",
     "mitigation_profile_factory",
     "obr_residual_bound",
     "recommend",

@@ -20,11 +20,20 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 if TYPE_CHECKING:
     from repro.core.deployment import Deployment
 
-from repro.analysis.bounds import ObrBound, SbrBound, obr_bound, sbr_bound
+from repro.analysis.bounds import (
+    CcfcBound,
+    ObrBound,
+    SbrBound,
+    ccfc_bound,
+    obr_bound,
+    sbr_bound,
+)
 from repro.analysis.classify import (
     CascadeClassification,
+    CcfcClassification,
     SbrClassification,
     classify_cascade,
+    classify_ccfc,
     classify_sbr,
 )
 from repro.cdn.vendors import all_vendor_names
@@ -54,7 +63,7 @@ def severity_for_factor(factor: float) -> str:
 class Finding:
     """One statically-derived vulnerability (or safety) statement."""
 
-    #: ``"sbr"``, ``"obr"``, or ``"safe"``.
+    #: ``"sbr"``, ``"obr"``, ``"ccfc"``, or ``"safe"``.
     kind: str
     severity: str
     #: ``"azure"`` for a vendor, ``"cdn77 -> akamai"`` for a cascade.
@@ -91,6 +100,8 @@ class AnalysisReport:
     resource_size: int
     #: OBR resource size the cascade bounds were computed for.
     obr_resource_size: int
+    #: CCFC resource size the compression bounds were computed for.
+    ccfc_resource_size: int = 10 * MB
 
     @property
     def vulnerable(self) -> Tuple[Finding, ...]:
@@ -108,6 +119,7 @@ class AnalysisReport:
             {
                 "resource_size": self.resource_size,
                 "obr_resource_size": self.obr_resource_size,
+                "ccfc_resource_size": self.ccfc_resource_size,
                 "findings": [f.to_dict() for f in self.findings],
             },
             indent=indent,
@@ -204,19 +216,85 @@ def _obr_finding(
     )
 
 
+#: Safe-mechanism phrasing for the CCFC findings.
+_CCFC_SAFE_DETAILS = {
+    "forward": "forwards Accept-Encoding untouched; no CCFC vector",
+    "strip": "strips Accept-Encoding toward the origin; no CCFC vector",
+    "normalize": "normalizes Accept-Encoding to the client's codings; no CCFC vector",
+    "rewrite-no-decompress": (
+        "rewrites Accept-Encoding but relays compressed bodies as-is; no CCFC vector"
+    ),
+    "rewrite-incompressible": (
+        "rewrites Accept-Encoding to codings that do not compress; no CCFC vector"
+    ),
+}
+
+
+def _ccfc_finding(
+    classification: CcfcClassification,
+    resource_size: int,
+    overhead: Optional[OverheadModel],
+) -> Finding:
+    vendor = classification.vendor
+    if not classification.vulnerable:
+        detail = _CCFC_SAFE_DETAILS.get(
+            classification.mechanism, "has no compression-conversion vector"
+        )
+        return Finding(
+            kind="safe",
+            severity="info",
+            subject=vendor,
+            mechanism=classification.mechanism,
+            factor_bound=0.0,
+            detail=f"{classification.display_name} {detail}",
+            data={
+                "attack": "ccfc",
+                "encoding_policy": classification.encoding_policy.value,
+                "edge_decompresses": classification.edge_decompresses,
+            },
+        )
+    bound: CcfcBound = ccfc_bound(vendor, resource_size, overhead=overhead)
+    codings = ", ".join(classification.edge_accept_encoding)
+    return Finding(
+        kind="ccfc",
+        severity=severity_for_factor(bound.factor),
+        subject=vendor,
+        mechanism=classification.mechanism,
+        factor_bound=bound.factor,
+        detail=(
+            f"{classification.display_name} rewrites Accept-Encoding to "
+            f"{codings} and inflates at the edge: "
+            f"<= {bound.factor:.0f}x at {_format_size(resource_size)}"
+        ),
+        data={
+            "attack": "ccfc",
+            "resource_size": resource_size,
+            "encoding": bound.encoding,
+            "edge_accept_encoding": list(classification.edge_accept_encoding),
+            "victim_bytes_upper": bound.victim_bytes_upper,
+            "attacker_bytes_lower": bound.attacker_bytes_lower,
+        },
+    )
+
+
 def analyze_vendor_matrix(
     resource_size: int = 10 * MB,
     obr_resource_size: int = 1024,
+    ccfc_resource_size: int = 10 * MB,
     vendors: Optional[Sequence[str]] = None,
     sbr_overhead: Optional[OverheadModel] = None,
     obr_overhead: Optional[OverheadModel] = None,
+    ccfc_overhead: Optional[OverheadModel] = None,
 ) -> AnalysisReport:
     """Statically audit every vendor and every FCDN×BCDN cell.
 
     Purely configuration-driven: decision-table probes plus closed-form
-    bounds.  SBR bounds default to payload-only accounting and OBR
-    bounds to TCP-framed accounting, matching the simulated attacks'
-    defaults.
+    bounds.  SBR and CCFC bounds default to payload-only accounting and
+    OBR bounds to TCP-framed accounting, matching the simulated attacks'
+    defaults.  Every vendor gets a CCFC finding — ``kind="ccfc"`` when
+    vulnerable, a ``kind="safe"`` row tagged ``data["attack"]="ccfc"``
+    otherwise — so compression behavior is classified for the whole
+    registry.
     """
     names = list(vendors) if vendors is not None else all_vendor_names()
     findings: List[Finding] = []
@@ -224,6 +302,9 @@ def analyze_vendor_matrix(
     for vendor in names:
         findings.append(
             _sbr_finding(classify_sbr(vendor), resource_size, sbr_overhead)
+        )
+        findings.append(
+            _ccfc_finding(classify_ccfc(vendor), ccfc_resource_size, ccfc_overhead)
         )
 
     for fcdn in names:
@@ -239,6 +320,7 @@ def analyze_vendor_matrix(
         findings=_rank(findings),
         resource_size=resource_size,
         obr_resource_size=obr_resource_size,
+        ccfc_resource_size=ccfc_resource_size,
     )
 
 
@@ -264,8 +346,10 @@ def analyze_deployment(
     findings: List[Finding] = []
     for node in deployment.nodes:
         classification = classify_sbr(node.profile.name, config=node.config)
+        ccfc_classification = classify_ccfc(node.profile.name)
         for size in sizes:
             findings.append(_sbr_finding(classification, size, overhead))
+        findings.append(_ccfc_finding(ccfc_classification, max(sizes), overhead))
 
     for front, back in zip(deployment.nodes, deployment.nodes[1:]):
         if front.profile.name == back.profile.name:
@@ -284,6 +368,7 @@ def analyze_deployment(
         findings=_rank(findings),
         resource_size=max(sizes),
         obr_resource_size=sizes[0],
+        ccfc_resource_size=max(sizes),
     )
 
 

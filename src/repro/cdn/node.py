@@ -29,7 +29,8 @@ from repro.errors import RangeNotSatisfiableError, RequestRejectedError
 from repro.faults.plan import current_faults
 from repro.faults.retry import RetryPolicy, retry_policy_for
 from repro.handler import HttpHandler
-from repro.http.body import Body
+from repro.http.body import Body, SyntheticBody
+from repro.http.encoding import IDENTITY, accepts_encoding
 from repro.http.headers import Headers
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.multipart import MultipartByteranges, MultipartPart
@@ -49,6 +50,63 @@ from repro.obs.tracer import NullSpan, Span, current_tracer
 _FIXED_DATE = "Fri, 05 Jun 2020 08:00:00 GMT"
 
 logger = logging.getLogger(__name__)
+
+
+def convert_encoded_response(
+    profile: VendorProfile,
+    response: HttpResponse,
+    size_hint: Optional[int],
+    client_accept: Optional[str],
+) -> HttpResponse:
+    """Edge-side compression format conversion (arXiv 2409.00712 §III).
+
+    When the vendor decompresses at the edge and the client cannot
+    accept the coding the origin chose, the edge inflates the body back
+    to the identity representation before replying: ``Content-Encoding``
+    is dropped and ``Content-Length`` grows to the decompressed size
+    (taken from the deployment's size hint — without one the edge cannot
+    know the inflated size and relays the response untouched).  Returns
+    ``response`` itself when no conversion applies.
+
+    This is the module-level single source of truth shared by the live
+    pipeline and the closed-form CCFC mirror in
+    :mod:`repro.core.ccfc` — bound == simulation holds by construction.
+    """
+    if not profile.edge_decompresses:
+        return response
+    if int(response.status) != int(StatusCode.OK):
+        return response
+    encoding = response.headers.get("Content-Encoding")
+    if encoding is None or encoding.lower() == IDENTITY:
+        return response
+    if client_accept is None or accepts_encoding(client_accept, encoding):
+        return response
+    if size_hint is None:
+        return response
+    converted = response.copy()
+    converted.headers.remove("Content-Encoding")
+    converted.headers.set("Content-Length", str(size_hint))
+    converted.body = SyntheticBody(size_hint)
+    return converted
+
+
+def finalize_client_response(profile: VendorProfile, response: HttpResponse) -> HttpResponse:
+    """Stamp vendor identity headers and pad to the calibrated weight.
+
+    Module-level so the CCFC mirror applies byte-identical header
+    weighting without instantiating a node.
+    """
+    headers = response.headers
+    headers.set("Server", profile.server_header)
+    if "Date" not in headers:
+        headers.add("Date", _FIXED_DATE)
+    if "Accept-Ranges" not in headers:
+        headers.add("Accept-Ranges", "bytes")
+    for name, value in profile.response_headers():
+        if name not in headers:
+            headers.add(name, value)
+    profile.pad_response(response)
+    return response
 
 
 class CdnNode(HttpHandler):
@@ -146,11 +204,17 @@ class CdnNode(HttpHandler):
             registry.record_rewrite(self.profile.name, policy)
 
         if result.passthrough is not None:
+            passthrough = convert_encoded_response(
+                self.profile,
+                result.passthrough,
+                self._size_hint(request),
+                request.headers.get("Accept-Encoding"),
+            )
             if result.cacheable_full:
-                self.cache.put(request, result.passthrough)
-            if result.passthrough.status >= 300:
-                return self._relay_error(result.passthrough)
-            return self._finalize(result.passthrough.copy())
+                self.cache.put(request, passthrough)
+            if passthrough.status >= 300:
+                return self._relay_error(passthrough)
+            return self._finalize(passthrough.copy())
 
         window = result.window
         source_headers = result.source_headers if result.source_headers else Headers()
@@ -403,17 +467,7 @@ class CdnNode(HttpHandler):
 
     def _finalize(self, response: HttpResponse) -> HttpResponse:
         """Stamp vendor identity headers and pad to the calibrated weight."""
-        headers = response.headers
-        headers.set("Server", self.profile.server_header)
-        if "Date" not in headers:
-            headers.add("Date", _FIXED_DATE)
-        if "Accept-Ranges" not in headers:
-            headers.add("Accept-Ranges", "bytes")
-        for name, value in self.profile.response_headers():
-            if name not in headers:
-                headers.add(name, value)
-        self.profile.pad_response(response)
-        return response
+        return finalize_client_response(self.profile, response)
 
     def _relay_error(self, upstream_response: HttpResponse) -> HttpResponse:
         response = upstream_response.copy()

@@ -15,7 +15,14 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.cdn.policy import ForwardDecision
-from repro.cdn.vendors.base import SpecShape, VendorConfig, VendorContext, VendorProfile, classify_spec
+from repro.cdn.vendors.base import (
+    EncodingPolicy,
+    SpecShape,
+    VendorConfig,
+    VendorContext,
+    VendorProfile,
+    classify_spec,
+)
 from repro.http.message import HttpRequest
 from repro.http.ranges import RangeSpecifier
 
@@ -26,6 +33,11 @@ class AlibabaProfile(VendorProfile):
     server_header = "Tengine"
     client_header_block_target = 992
     pad_header_name = "EagleId"
+    # arXiv 2409.00712 Table 3: Alibaba Cloud CDN rewrites Accept-
+    # Encoding (gzip preferred) and decompresses at the edge.
+    encoding_policy = EncodingPolicy.REWRITE
+    edge_accept_encoding = ("gzip", "br")
+    edge_decompresses = True
 
     @classmethod
     def default_config(cls) -> VendorConfig:

@@ -22,8 +22,9 @@ response headers inserted by CDNs, the slope ... is quite different").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Mapping, Optional, Tuple
 
 from enum import Enum
 
@@ -31,6 +32,7 @@ from repro.cdn.limits import HeaderLimits
 from repro.cdn.multirange import MultiRangeReplyBehavior
 from repro.cdn.policy import ForwardDecision, ForwardPolicy
 from repro.cdn.window import ContentWindow
+from repro.http.encoding import IDENTITY, accepted_codings
 from repro.http.headers import Headers
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.multipart import DEFAULT_BOUNDARY
@@ -57,6 +59,33 @@ def classify_spec(spec: RangeSpecifier) -> SpecShape:
         return SpecShape.SINGLE_SUFFIX
     assert isinstance(only, ByteRangeSpec)
     return SpecShape.SINGLE_OPEN if only.is_open_ended else SpecShape.SINGLE_CLOSED
+
+class EncodingPolicy(Enum):
+    """How a CDN treats the client's ``Accept-Encoding`` on the way to
+    the origin (the CCFC behavior table, arXiv 2409.00712 §IV)."""
+
+    #: Relay the client's header unchanged (safe).
+    FORWARD = "forward"
+    #: Drop the header; the origin negotiates nothing (safe).
+    STRIP = "strip"
+    #: Replace it with the edge's own preferred codings regardless of
+    #: what the client accepts — the CCFC-vulnerable behavior.
+    REWRITE = "rewrite"
+    #: Intersect the client's codings with the edge's; request
+    #: ``identity`` when the intersection is empty (the mitigation).
+    NORMALIZE = "normalize"
+
+
+#: Per-coding compressed-size ratios the simulation models.  The CCFC
+#: paper's amplification stems from highly compressible payloads
+#: (zeros, repetitive text): brotli reaches ~2000:1 and gzip ~1000:1 on
+#: such content, which is what these ratios encode.
+DEFAULT_COMPRESSION_RATIOS: Mapping[str, float] = {
+    "br": 0.0005,
+    "gzip": 0.001,
+    IDENTITY: 1.0,
+}
+
 
 #: ``exchange`` callback a node hands to a profile's fetch flow: send one
 #: upstream request over a fresh connection, optionally capping how many
@@ -161,6 +190,17 @@ class VendorProfile:
     #: re-forward-without-Range after a 206.  Consulted by the behavior
     #: matrix, which otherwise only sees ``forward_decision``.
     amplifies_via_fetch_flow: bool = False
+    #: How the vendor treats the client's ``Accept-Encoding`` upstream
+    #: (the CCFC behavior table).
+    encoding_policy: EncodingPolicy = EncodingPolicy.FORWARD
+    #: Codings the edge itself negotiates with the origin, in preference
+    #: order; only consulted under REWRITE/NORMALIZE.
+    edge_accept_encoding: Tuple[str, ...] = ()
+    #: Whether the edge decompresses an origin body whose coding the
+    #: client did not accept — the conversion the CCFC attack amplifies.
+    edge_decompresses: bool = False
+    #: Compressed-size model per coding (fraction of the identity size).
+    compression_ratios: Mapping[str, float] = DEFAULT_COMPRESSION_RATIOS
 
     def __init__(self, limits: Optional[HeaderLimits] = None) -> None:
         self.limits = limits if limits is not None else self.default_limits()
@@ -220,16 +260,52 @@ class VendorProfile:
         response = exchange(upstream_request, note=f"forward:{decision.policy.value}")
         return self.interpret_upstream(decision, response, spec)
 
+    def compressed_size(self, coding: str, size: int) -> int:
+        """Modeled on-the-wire size of a ``size``-byte body under
+        ``coding`` (unknown codings pass through uncompressed)."""
+        ratio = self.compression_ratios.get(coding.lower(), 1.0)
+        if size <= 0 or ratio >= 1.0:
+            return size
+        return max(1, math.ceil(size * ratio))
+
+    def upstream_accept_encoding(self, client_value: Optional[str]) -> Optional[str]:
+        """The ``Accept-Encoding`` value this vendor sends upstream for a
+        client request carrying ``client_value`` (``None`` = header
+        absent; returning ``None`` = send no header).
+
+        The policy only engages when the client *sent* the header —
+        requests without one (every SBR/OBR shape) pass through every
+        vendor byte-identically.
+        """
+        if client_value is None:
+            return None
+        if self.encoding_policy is EncodingPolicy.STRIP:
+            return None
+        if self.encoding_policy is EncodingPolicy.REWRITE and self.edge_accept_encoding:
+            return ", ".join(self.edge_accept_encoding)
+        if self.encoding_policy is EncodingPolicy.NORMALIZE:
+            shared = accepted_codings(client_value, self.edge_accept_encoding)
+            return ", ".join(shared) if shared else IDENTITY
+        return client_value
+
     def build_upstream_request(
         self, request: HttpRequest, decision: ForwardDecision
     ) -> HttpRequest:
         """Copy the client request and rewrite its Range header per the
-        forwarding decision."""
+        forwarding decision (and its Accept-Encoding per the vendor's
+        encoding policy)."""
         upstream = request.copy()
         if decision.forwarded_range is None:
             upstream.headers.remove("Range")
         else:
             upstream.headers.set("Range", decision.forwarded_range)
+        client_accept = request.headers.get("Accept-Encoding")
+        if client_accept is not None:
+            negotiated = self.upstream_accept_encoding(client_accept)
+            if negotiated is None:
+                upstream.headers.remove("Accept-Encoding")
+            elif negotiated != client_accept:
+                upstream.headers.set("Accept-Encoding", negotiated)
         for name, value in self.forward_headers():
             if name not in upstream.headers:
                 upstream.headers.add(name, value)

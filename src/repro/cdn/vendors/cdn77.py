@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple
 
 from repro.cdn.limits import HeaderLimits
 from repro.cdn.policy import ForwardDecision
-from repro.cdn.vendors.base import VendorContext, VendorProfile
+from repro.cdn.vendors.base import EncodingPolicy, VendorContext, VendorProfile
 from repro.http.message import HttpRequest
 from repro.http.ranges import ByteRangeSpec, RangeSpecifier
 
@@ -35,6 +35,11 @@ class Cdn77Profile(VendorProfile):
     server_header = "CDN77-Turbo"
     client_header_block_target = 650
     pad_header_name = "X-77-NZT"
+    # arXiv 2409.00712 Table 3: CDN77 rewrites Accept-Encoding to
+    # br/gzip and converts (decompresses) at the edge.
+    encoding_policy = EncodingPolicy.REWRITE
+    edge_accept_encoding = ("br", "gzip")
+    edge_decompresses = True
     # Paper §IV-C: CDN77 keeps the upstream connection alive when the
     # client aborts, which also lets OBR attackers drop early for free.
     maintains_backend_on_client_abort = True

@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 
 from repro.cdn.limits import HeaderLimits, cloudflare_rule
 from repro.cdn.policy import ForwardDecision
-from repro.cdn.vendors.base import VendorContext, VendorProfile
+from repro.cdn.vendors.base import EncodingPolicy, VendorContext, VendorProfile
 from repro.http.message import HttpRequest
 from repro.http.ranges import RangeSpecifier
 
@@ -30,6 +30,12 @@ class CloudflareProfile(VendorProfile):
     server_header = "cloudflare"
     client_header_block_target = 817
     pad_header_name = "CF-RAY"
+    # Paper Table 3 (arXiv 2409.00712): Cloudflare rewrites Accept-
+    # Encoding to its own br/gzip preference and decompresses at the edge
+    # when the client cannot accept the stored coding.
+    encoding_policy = EncodingPolicy.REWRITE
+    edge_accept_encoding = ("br", "gzip")
+    edge_decompresses = True
 
     def default_limits(self) -> HeaderLimits:
         return HeaderLimits(custom=cloudflare_rule())

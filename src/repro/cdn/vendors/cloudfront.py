@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.cdn.policy import ForwardDecision, mb_aligned_expansion
-from repro.cdn.vendors.base import SpecShape, VendorContext, VendorProfile, classify_spec
+from repro.cdn.vendors.base import EncodingPolicy, SpecShape, VendorContext, VendorProfile, classify_spec
 from repro.http.message import HttpRequest
 from repro.http.ranges import ByteRangeSpec, RangeSpecifier
 
@@ -33,6 +33,11 @@ class CloudFrontProfile(VendorProfile):
     server_header = "CloudFront"
     client_header_block_target = 772
     pad_header_name = "X-Amz-Cf-Id"
+    # arXiv 2409.00712 Table 3: CloudFront rewrites Accept-Encoding to
+    # gzip and decompresses at the edge for identity-only clients.
+    encoding_policy = EncodingPolicy.REWRITE
+    edge_accept_encoding = ("gzip",)
+    edge_decompresses = True
 
     def forward_decision(
         self,

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.cdn.policy import ForwardDecision
-from repro.cdn.vendors.base import VendorContext, VendorProfile
+from repro.cdn.vendors.base import EncodingPolicy, VendorContext, VendorProfile
 from repro.http.message import HttpRequest
 from repro.http.ranges import RangeSpecifier
 
@@ -25,6 +25,11 @@ class FastlyProfile(VendorProfile):
     server_header = "Varnish"
     client_header_block_target = 815
     pad_header_name = "X-Timer"
+    # arXiv 2409.00712 Table 3: Fastly (Varnish do_gzip) rewrites
+    # Accept-Encoding to gzip and inflates at the edge.
+    encoding_policy = EncodingPolicy.REWRITE
+    edge_accept_encoding = ("gzip",)
+    edge_decompresses = True
 
     def forward_decision(
         self,

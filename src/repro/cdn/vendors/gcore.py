@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.cdn.policy import ForwardDecision
-from repro.cdn.vendors.base import VendorContext, VendorProfile
+from repro.cdn.vendors.base import EncodingPolicy, VendorContext, VendorProfile
 from repro.http.message import HttpRequest
 from repro.http.ranges import RangeSpecifier
 
@@ -27,6 +27,9 @@ class GcoreProfile(VendorProfile):
     server_header = "nginx"
     client_header_block_target = 594
     pad_header_name = "X-ID"
+    # arXiv 2409.00712 Table 3: G-Core strips Accept-Encoding entirely
+    # on the way to the origin, so the origin always serves identity.
+    encoding_policy = EncodingPolicy.STRIP
 
     def forward_decision(
         self,

@@ -22,7 +22,14 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.cdn.policy import ForwardDecision
-from repro.cdn.vendors.base import SpecShape, VendorConfig, VendorContext, VendorProfile, classify_spec
+from repro.cdn.vendors.base import (
+    EncodingPolicy,
+    SpecShape,
+    VendorConfig,
+    VendorContext,
+    VendorProfile,
+    classify_spec,
+)
 from repro.http.message import HttpRequest
 from repro.http.ranges import RangeSpecifier
 
@@ -36,6 +43,11 @@ class HuaweiProfile(VendorProfile):
     server_header = "CDN"
     client_header_block_target = 715
     pad_header_name = "X-HCS-Request-Id"
+    # arXiv 2409.00712 Table 3: Huawei Cloud CDN rewrites Accept-
+    # Encoding to gzip and decompresses at the edge.
+    encoding_policy = EncodingPolicy.REWRITE
+    edge_accept_encoding = ("gzip",)
+    edge_decompresses = True
 
     @classmethod
     def default_config(cls) -> VendorConfig:

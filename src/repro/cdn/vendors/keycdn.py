@@ -22,7 +22,7 @@ from typing import List, Optional, Set, Tuple
 
 from repro.cdn.limits import HeaderLimits
 from repro.cdn.policy import ForwardDecision
-from repro.cdn.vendors.base import SpecShape, VendorContext, VendorProfile, classify_spec
+from repro.cdn.vendors.base import EncodingPolicy, SpecShape, VendorContext, VendorProfile, classify_spec
 from repro.http.message import HttpRequest
 from repro.http.ranges import RangeSpecifier
 
@@ -33,6 +33,11 @@ class KeycdnProfile(VendorProfile):
     server_header = "keycdn-engine"
     client_header_block_target = 722
     pad_header_name = "X-Edge-Location"
+    # arXiv 2409.00712 Table 3: KeyCDN rewrites Accept-Encoding to
+    # gzip and decompresses at the edge.
+    encoding_policy = EncodingPolicy.REWRITE
+    edge_accept_encoding = ("gzip",)
+    edge_decompresses = True
 
     def __init__(self, limits: Optional[HeaderLimits] = None) -> None:
         super().__init__(limits)

@@ -12,7 +12,14 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.cdn.policy import ForwardDecision
-from repro.cdn.vendors.base import SpecShape, VendorConfig, VendorContext, VendorProfile, classify_spec
+from repro.cdn.vendors.base import (
+    EncodingPolicy,
+    SpecShape,
+    VendorConfig,
+    VendorContext,
+    VendorProfile,
+    classify_spec,
+)
 from repro.http.message import HttpRequest
 from repro.http.ranges import RangeSpecifier
 
@@ -23,6 +30,11 @@ class TencentProfile(VendorProfile):
     server_header = "NWS_SPMid"
     client_header_block_target = 801
     pad_header_name = "X-NWS-LOG-UUID"
+    # arXiv 2409.00712 Table 3: Tencent rewrites Accept-Encoding to
+    # gzip but serves the compressed body as-is (no edge decompression),
+    # so conversion amplification stays ~1.
+    encoding_policy = EncodingPolicy.REWRITE
+    edge_accept_encoding = ("gzip",)
 
     @classmethod
     def default_config(cls) -> VendorConfig:

@@ -95,6 +95,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="OBR resource size in bytes the bounds assume (default: 1024)",
     )
     analyze.add_argument(
+        "--ccfc-size-mb", type=int, default=10,
+        help="CCFC resource size in MB the bounds assume (default: 10)",
+    )
+    analyze.add_argument(
         "--with-retries", action="store_true",
         help="also print the retry-aware SBR bound (clean bound scaled by "
              "each vendor's back-to-origin attempt budget)",
@@ -129,6 +133,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--obr-size", type=int, default=1024,
         help="OBR resource size in bytes the residual bounds assume "
              "(default: 1024)",
+    )
+    recommend.add_argument(
+        "--ccfc-size-mb", type=int, default=10,
+        help="CCFC resource size in MB the residual bounds assume "
+             "(default: 10)",
     )
     recommend.add_argument(
         "--with-retries", action="store_true",
@@ -733,6 +742,19 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             ],
         )
     )
+    if report.table_ccfc:
+        ccfc_sizes = sorted(report.table_ccfc[0].factors)
+        print("\nCCFC - compression-conversion amplification factors:")
+        print(
+            render_table(
+                ["CDN", "Coding"] + [f"{s // MB}MB" for s in ccfc_sizes],
+                [
+                    [row.display_name, row.encoding or "-"]
+                    + [f"{row.factors[s]:.1f}" for s in ccfc_sizes]
+                    for row in report.table_ccfc
+                ],
+            )
+        )
     if report.table_faults:
         print(
             f"\nTable VI - SBR under faults + vendor retries "
@@ -834,6 +856,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     report = analyze_vendor_matrix(
         resource_size=args.size_mb * MB,
         obr_resource_size=args.obr_size,
+        ccfc_resource_size=args.ccfc_size_mb * MB,
     )
     wall_s = time.perf_counter() - wall_started
     if args.format == "json":
@@ -843,9 +866,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(
             f"\n{len(report.by_kind('sbr'))} SBR-vulnerable vendor(s), "
             f"{len(report.by_kind('obr'))} OBR-vulnerable cascade(s), "
+            f"{len(report.by_kind('ccfc'))} CCFC-vulnerable vendor(s), "
             f"{len(report.safe)} safe — bounds at "
-            f"{args.size_mb}MB (SBR) / {args.obr_size}B (OBR), "
-            f"zero traffic simulated"
+            f"{args.size_mb}MB (SBR) / {args.obr_size}B (OBR) / "
+            f"{args.ccfc_size_mb}MB (CCFC), zero traffic simulated"
         )
     if args.with_retries and args.format != "json":
         from repro.analysis.bounds import faulted_sbr_bound
@@ -874,6 +898,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         config = {
             "size_mb": args.size_mb,
             "obr_size": args.obr_size,
+            "ccfc_size_mb": args.ccfc_size_mb,
             "with_retries": args.with_retries,
         }
         record = RunLedger(args.runlog).append(
@@ -902,6 +927,7 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         obr_resource_size=args.obr_size,
         threshold=threshold,
         with_retries=args.with_retries,
+        ccfc_resource_size=args.ccfc_size_mb * MB,
     )
     wall_s = time.perf_counter() - wall_started
     if args.format == "json":
@@ -909,9 +935,11 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     else:
         print(render_recommendations_table(report))
         print(
-            f"\n{len(report.by_kind('sbr'))} SBR and {len(report.by_kind('obr'))} "
-            f"OBR finding(s); threshold {threshold:g}x "
-            f"(bounds at {args.size_mb}MB SBR / {args.obr_size}B OBR)"
+            f"\n{len(report.by_kind('sbr'))} SBR, {len(report.by_kind('obr'))} "
+            f"OBR, and {len(report.by_kind('ccfc'))} CCFC finding(s); "
+            f"threshold {threshold:g}x "
+            f"(bounds at {args.size_mb}MB SBR / {args.obr_size}B OBR / "
+            f"{args.ccfc_size_mb}MB CCFC)"
         )
         if report.unresolved:
             for recommendation in report.unresolved:
@@ -925,6 +953,7 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         config = {
             "size_mb": args.size_mb,
             "obr_size": args.obr_size,
+            "ccfc_size_mb": args.ccfc_size_mb,
             "threshold": threshold,
             "with_retries": args.with_retries,
             "verify": args.verify,

@@ -9,6 +9,9 @@ execution, and measurement.
   each vendor's exploited range case from Table IV.
 * :mod:`repro.core.obr` — the Overlapping Byte Ranges attack (§IV-C),
   including the max-n search against header limits (Table V).
+* :mod:`repro.core.ccfc` — the CCFC compression-conversion attack
+  (arXiv 2409.00712): edge rewrites Accept-Encoding upstream and ships
+  decompressed bodies to identity-only clients.
 * :mod:`repro.core.feasibility` — the paper's first experiment: probe a
   CDN with ABNF-generated range requests and classify its policies
   (Tables I–III).
@@ -20,6 +23,7 @@ from __future__ import annotations
 
 from repro.core.amplification import AmplificationReport
 from repro.core.cachebusting import CacheBuster
+from repro.core.ccfc import CcfcAttack, CcfcResult
 from repro.core.deployment import CdnSpec, Client, Deployment, RecordingHandler
 from repro.core.feasibility import (
     FeasibilityProbe,
@@ -36,6 +40,8 @@ __all__ = [
     "BandwidthAttackSimulation",
     "BandwidthRunResult",
     "CacheBuster",
+    "CcfcAttack",
+    "CcfcResult",
     "CdnSpec",
     "Client",
     "Deployment",

@@ -44,6 +44,7 @@ from repro.cdn.vendors import all_vendor_names
 from repro.cdn.vendors.azure import DEFAULT_ABORT_SLOP, EIGHT_MB, WINDOW_LAST
 from repro.cdn.vendors.cloudfront import MULTI_RANGE_WINDOW_CAP
 from repro.core.amplification import AmplificationReport
+from repro.core.ccfc import CcfcAttack, CcfcResult
 from repro.core.obr import ObrAttack, ObrResult
 from repro.core.sbr import SbrAttack, SbrResult
 from repro.errors import ReproError
@@ -577,7 +578,50 @@ class ObrFastEngine:
         return self.model_for(fcdn, bcdn, resource_size).evaluate(n)
 
 
+# ---------------------------------------------------------------------------
+# CCFC: vendor x resource-size cells (compression-conversion)
+# ---------------------------------------------------------------------------
+
+
+class CcfcFastEngine:
+    """Answers CCFC cells from the exact closed-form mirror.
+
+    The CCFC attack is a single plain GET per round — no range algebra,
+    no multipart assembly — so :meth:`CcfcAttack.mirror` replays the
+    byte-defining code paths directly without building the connection
+    graph, and the answer is exact by construction (pinned by the
+    differential suite).  There is nothing to calibrate; refusals raise
+    :class:`ExactModelError` so callers can simulate instead.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, int, int], CcfcResult] = {}
+        #: Kept for parity with the calibrating engines' stats surface.
+        self.calibration_runs = 0
+
+    def measure(
+        self, vendor: str, resource_size: int, rounds: int = 1
+    ) -> CcfcResult:
+        """A :class:`CcfcResult` equal to ``CcfcAttack(...).run(rounds)``."""
+        if vendor not in all_vendor_names():
+            raise ExactModelError(f"unknown vendor {vendor!r}")
+        if resource_size < 1 or rounds < 1:
+            raise ExactModelError("degenerate cell")
+        key = (vendor, resource_size, rounds)
+        cached = self._cache.get(key)
+        if cached is None:
+            try:
+                cached = CcfcAttack(vendor, resource_size=resource_size).mirror(
+                    rounds=rounds
+                )
+            except ReproError as exc:
+                raise ExactModelError(f"CCFC mirror refused: {exc}") from exc
+            self._cache[key] = cached
+        return cached
+
+
 __all__ = [
+    "CcfcFastEngine",
     "ExactModelError",
     "ObrCascadeModel",
     "ObrFastEngine",

@@ -28,6 +28,7 @@ from repro.cdn.limits import HeaderLimits
 from repro.cdn.multirange import MultiRangeReplyBehavior
 from repro.cdn.policy import ForwardDecision, ForwardPolicy, bounded_expansion
 from repro.cdn.vendors.base import (
+    EncodingPolicy,
     ExchangeFn,
     FetchResult,
     SpecShape,
@@ -150,6 +151,10 @@ class MitigatedProfile(VendorProfile):
         self.client_header_block_target = inner.client_header_block_target
         self.pad_header_name = inner.pad_header_name
         self.server_header = inner.server_header
+        self.encoding_policy = inner.encoding_policy
+        self.edge_accept_encoding = inner.edge_accept_encoding
+        self.edge_decompresses = inner.edge_decompresses
+        self.compression_ratios = inner.compression_ratios
 
     @classmethod
     def default_config(cls) -> VendorConfig:
@@ -256,6 +261,10 @@ class SlicingProfile(VendorProfile):
         self.client_header_block_target = inner.client_header_block_target
         self.pad_header_name = inner.pad_header_name
         self.server_header = inner.server_header
+        self.encoding_policy = inner.encoding_policy
+        self.edge_accept_encoding = inner.edge_accept_encoding
+        self.edge_decompresses = inner.edge_decompresses
+        self.compression_ratios = inner.compression_ratios
         #: Slice cache: (host, target, slice index) -> payload body.
         self._slices: Dict[Tuple[str, str, int], Body] = {}
         #: Learned complete lengths: (host, target) -> int.
@@ -368,3 +377,34 @@ def with_slicing(inner: VendorProfile, slice_size: int = 1 << 20) -> SlicingProf
     """The slice-option mitigation: per-request origin traffic bounded by
     ``slice_size``, with per-slice caching."""
     return SlicingProfile(inner, slice_size=slice_size)
+
+
+def with_encoding_passthrough(inner: VendorProfile) -> VendorProfile:
+    """The CCFC pass-through fix: forward the client's ``Accept-Encoding``
+    untouched and never decompress at the edge.
+
+    The compression-conversion amplification (arXiv 2409.00712) needs the
+    edge to *rewrite* the negotiation upstream and then inflate the
+    compressed origin body for an identity-only client.  Forwarding the
+    client's header verbatim makes the origin serve what the client can
+    actually consume, so the edge ships bytes one-for-one.
+    """
+    mitigated = with_laziness(inner)
+    mitigated.forwarding = "laziness"
+    mitigated.encoding_policy = EncodingPolicy.FORWARD
+    mitigated.edge_accept_encoding = ()
+    mitigated.edge_decompresses = False
+    return mitigated
+
+
+def with_encoding_normalization(inner: VendorProfile) -> VendorProfile:
+    """The CCFC normalization fix: upstream ``Accept-Encoding`` is clamped
+    to what the *client* offered (or ``identity`` when it offered
+    nothing), instead of the vendor's fixed rewrite list.
+
+    Decompression support stays enabled — it simply never engages,
+    because the origin only returns codings the client already accepts.
+    """
+    mitigated = with_laziness(inner)
+    mitigated.encoding_policy = EncodingPolicy.NORMALIZE
+    return mitigated

@@ -1,0 +1,86 @@
+"""Content-coding negotiation primitives (RFC 7231 §5.3.4).
+
+The CCFC attack (arXiv 2409.00712) abuses how CDNs rewrite the
+``Accept-Encoding`` request header on the way to the origin, so the
+library needs a small, deterministic model of the header's grammar: a
+comma-separated list of codings, each optionally weighted with a
+``;q=`` parameter.  Weights only matter here as an on/off switch —
+``q=0`` means "not acceptable" — because the simulation negotiates the
+*smallest* acceptable variant, not the client-preferred one (that is
+exactly the CDN-egress-minimizing behavior the attack exploits).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+#: The coding name an unencoded representation negotiates under.
+IDENTITY = "identity"
+
+
+def parse_accept_encoding(value: Optional[str]) -> Tuple[Tuple[str, float], ...]:
+    """Parse an ``Accept-Encoding`` value into ``(coding, qvalue)`` pairs.
+
+    Codings are lower-cased; empty elements are dropped; a malformed or
+    missing ``q`` parameter defaults to 1.0.  ``None`` parses to an
+    empty tuple (header absent).
+    """
+    if value is None:
+        return ()
+    parsed: List[Tuple[str, float]] = []
+    for element in value.split(","):
+        element = element.strip()
+        if not element:
+            continue
+        coding, _, params = element.partition(";")
+        coding = coding.strip().lower()
+        if not coding:
+            continue
+        quality = 1.0
+        params = params.strip()
+        if params.lower().startswith("q="):
+            try:
+                quality = float(params[2:].strip())
+            except ValueError:
+                quality = 1.0
+        parsed.append((coding, quality))
+    return tuple(parsed)
+
+
+def accepts_encoding(header: Optional[str], coding: str) -> bool:
+    """Is ``coding`` acceptable under an ``Accept-Encoding`` header?
+
+    * An **absent** header (``None``) imposes no constraint — any coding
+      is acceptable (RFC 7231 §5.3.4 item 1).
+    * A listed coding is acceptable unless its qvalue is 0.
+    * ``*`` matches any coding not explicitly listed.
+    * ``identity`` is always acceptable unless explicitly refused
+      (``identity;q=0`` or ``*;q=0`` with identity unlisted).
+    """
+    coding = coding.lower()
+    if header is None:
+        return True
+    parsed = parse_accept_encoding(header)
+    wildcard: Optional[float] = None
+    for name, quality in parsed:
+        if name == coding:
+            return quality > 0.0
+        if name == "*":
+            wildcard = quality
+    if wildcard is not None:
+        return wildcard > 0.0
+    return coding == IDENTITY
+
+
+def accepted_codings(header: Optional[str], available: Tuple[str, ...]) -> Tuple[str, ...]:
+    """The subset of ``available`` codings acceptable under ``header``,
+    preserving the order of ``available``."""
+    return tuple(c for c in available if accepts_encoding(header, c))
+
+
+__all__ = [
+    "IDENTITY",
+    "accepted_codings",
+    "accepts_encoding",
+    "parse_accept_encoding",
+]

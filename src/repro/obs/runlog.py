@@ -133,8 +133,8 @@ class RunRecord:
     cells: Tuple[CellRecord, ...] = ()
     #: Stable key -> amplification (or bound/residual) factor.  Keys:
     #: ``sbr:<vendor>:<size>``, ``obr:<fcdn>:<bcdn>``,
-    #: ``faulted:<vendor>:<size>``, ``bound:<kind>:<subject>``,
-    #: ``residual:<kind>:<subject>``.
+    #: ``ccfc:<vendor>:<size>``, ``faulted:<vendor>:<size>``,
+    #: ``bound:<kind>:<subject>``, ``residual:<kind>:<subject>``.
     factors: Dict[str, float] = field(default_factory=dict)
     #: Fast-path counters (``None`` for exact/observability runs).
     fastpath: Optional[Dict[str, Any]] = None
@@ -346,7 +346,8 @@ def record_from_runall(
     """Build the persisted record for one finished ``run-all``.
 
     Factor keys cover every measured artifact: ``sbr:<vendor>:<size>``
-    per Table IV cell, ``obr:<fcdn>:<bcdn>`` per Table V cascade, and
+    per Table IV cell, ``obr:<fcdn>:<bcdn>`` per Table V cascade,
+    ``ccfc:<vendor>:<size>`` per compression-conversion cell, and
     ``faulted:<vendor>:<size>`` per Table VI row, so two ledger entries
     diff cell-by-cell without re-reading the rendered tables.
     """
@@ -356,6 +357,9 @@ def record_from_runall(
             factors[f"sbr:{row.vendor}:{size}"] = factor
     for row in report.table5:
         factors[f"obr:{row.fcdn}:{row.bcdn}"] = row.factor
+    for row in report.table_ccfc:
+        for size, factor in row.factors.items():
+            factors[f"ccfc:{row.vendor}:{size}"] = factor
     for row in report.table_faults:
         factors[f"faulted:{row.vendor}:{row.resource_size}"] = row.faulted_factor
     stats = report.fastpath

@@ -52,6 +52,11 @@ class Resource:
     #: malicious customer sets ``no-store`` to keep every request going
     #: back to origin without any query-string busting (paper §II-A).
     cache_control: Optional[str] = None
+    #: Pre-compressed variants the origin can negotiate: coding name →
+    #: compressed size in bytes (the CCFC attacker hosts highly
+    #: compressible payloads, arXiv 2409.00712 §III).  ``None`` means the
+    #: resource exists only as its identity representation.
+    encodings: Optional[Dict[str, int]] = None
     _materialized_body: Body = field(init=False, repr=False)
 
     def __post_init__(self) -> None:

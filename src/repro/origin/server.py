@@ -23,6 +23,8 @@ from typing import List, Optional
 
 from repro.errors import RangeNotSatisfiableError, ResourceNotFoundError
 from repro.faults.plan import FaultRule, current_faults
+from repro.http.body import SyntheticBody
+from repro.http.encoding import IDENTITY, accepts_encoding
 from repro.http.headers import Headers
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.multipart import MultipartByteranges
@@ -136,6 +138,9 @@ class OriginServer:
         spec = try_parse_range_header(request.range_header)
         if spec is None:
             # No Range header, or one we must ignore per RFC 7233 §3.1.
+            encoded = self._encoded_response(resource, request)
+            if encoded is not None:
+                return encoded
             return self._full_response(resource)
 
         if not self._if_range_allows_partial(resource, request):
@@ -197,6 +202,38 @@ class OriginServer:
         headers.add("Content-Length", str(resource.size))
         headers.add("Content-Type", resource.content_type)
         return HttpResponse(StatusCode.OK, headers=headers, body=resource.content)
+
+    def _encoded_response(self, resource: Resource, request: HttpRequest) -> Optional[HttpResponse]:
+        """Proactive content negotiation (RFC 7231 §5.3.4) over the
+        resource's pre-compressed variants.
+
+        The origin serves the **smallest** acceptable non-identity
+        variant — the egress-minimizing choice a CCFC attacker's origin
+        makes (arXiv 2409.00712 §III).  Returns ``None`` when the
+        resource has no variants, the request carries no
+        ``Accept-Encoding``, or no non-identity variant is acceptable;
+        the caller then falls back to the identity representation.
+        """
+        if not resource.encodings:
+            return None
+        accept = request.headers.get("Accept-Encoding")
+        if accept is None:
+            return None
+        candidates = [
+            (size, coding)
+            for coding, size in resource.encodings.items()
+            if coding.lower() != IDENTITY and accepts_encoding(accept, coding)
+        ]
+        if not candidates:
+            return None
+        size, coding = min(candidates)
+        self.stats.full_responses += 1
+        headers = self._base_headers(resource)
+        headers.add("Content-Length", str(size))
+        headers.add("Content-Type", resource.content_type)
+        headers.add("Content-Encoding", coding)
+        headers.add("Vary", "Accept-Encoding")
+        return HttpResponse(StatusCode.OK, headers=headers, body=SyntheticBody(size))
 
     def _single_part(self, resource: Resource, start: int, end: int) -> HttpResponse:
         self.stats.partial_responses += 1

@@ -19,9 +19,9 @@ Phase vocabulary (written by :func:`repro.runner.runall.run_all`):
 * ``grid`` — wire-level simulation of the residual cells;
 * ``validate`` — sampled re-simulation of fast answers;
 * ``static`` — the Table VII recommendation derivation;
-* ``measure`` (derived here) — everything spent answering SBR/OBR
+* ``measure`` (derived here) — everything spent answering SBR/OBR/CCFC
   measurement cells: ``fastpath + validate`` plus the per-cell seconds
-  of simulated SBR/OBR cells.  This is the basis of the CI speedup
+  of simulated measurement cells.  This is the basis of the CI speedup
   gate, because it compares like with like — the Fig 7 flood cells are
   time-stepped bandwidth simulations outside the fast path's scope and
   cost the same in both modes.
@@ -38,7 +38,10 @@ from repro.errors import ReproError
 from repro.runner.runall import RunAllReport
 
 #: Current on-disk schema version; bump on any shape change.
-BENCH_SCHEMA_VERSION = 1
+#: Version 2: the run-all grid gained CCFC cells, so cell counts,
+#: phase totals, and the ``measure`` derivation all shifted — files
+#: written by version-1 builds are not comparable and are rejected.
+BENCH_SCHEMA_VERSION = 2
 
 #: The canonical file name, both in run-all output dirs and at the repo
 #: root (the committed CI baseline).
@@ -46,7 +49,7 @@ BENCH_FILENAME = "BENCH_runall.json"
 
 #: Experiment kinds whose cell seconds count toward the ``measure``
 #: phase (the cells the fast path may answer).
-MEASURE_EXPERIMENTS = ("sbr", "obr", "sbr-faults")
+MEASURE_EXPERIMENTS = ("sbr", "obr", "ccfc", "sbr-faults")
 
 
 class BenchSchemaError(ReproError):

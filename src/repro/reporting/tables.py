@@ -189,6 +189,56 @@ def table4_rows_from_results(
 
 
 # ---------------------------------------------------------------------------
+# CCFC table (ours) — compression-conversion amplification per vendor
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CcfcTableRow:
+    """One vendor of the compression-conversion sweep (arXiv 2409.00712)."""
+
+    vendor: str
+    display_name: str
+    #: Upstream coding the edge negotiated at the largest size (``None``
+    #: when the vendor never rewrites or the origin serves identity).
+    encoding: Optional[str]
+    #: resource size (bytes) -> measured amplification factor.
+    factors: Dict[int, float]
+    #: resource size (bytes) -> client-side response traffic (bytes).
+    client_traffic: Dict[int, int]
+    #: resource size (bytes) -> origin-side response traffic (bytes).
+    origin_traffic: Dict[int, int]
+
+
+def ccfc_rows_from_results(
+    results: Dict[Tuple[str, int], object],
+    vendors: Sequence[str],
+    sizes: Sequence[int],
+) -> List[CcfcTableRow]:
+    """Assemble CCFC rows from (vendor, size) -> CcfcResult mappings."""
+    rows = []
+    for name in vendors:
+        factors: Dict[int, float] = {}
+        client: Dict[int, int] = {}
+        origin: Dict[int, int] = {}
+        for size in sizes:
+            result = results[(name, size)]
+            factors[size] = result.amplification
+            client[size] = result.client_traffic
+            origin[size] = result.origin_traffic
+        rows.append(
+            CcfcTableRow(
+                vendor=name,
+                display_name=profile_class(name).display_name,
+                encoding=results[(name, max(sizes))].encoding,
+                factors=factors,
+                client_traffic=client,
+                origin_traffic=origin,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Table VI (ours) — SBR re-amplification under faults and vendor retries
 # ---------------------------------------------------------------------------
 

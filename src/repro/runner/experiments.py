@@ -5,13 +5,15 @@ through a registry, so an :class:`~repro.runner.grid.ExperimentCell`
 stays picklable and a worker process (fork or spawn) can execute it
 after merely importing this module.
 
-Four kinds cover the paper's Tables IV–V, Figs 6–7, and the faulted
-re-amplification table:
+Five kinds cover the paper's Tables IV–V, Figs 6–7, the faulted
+re-amplification table, and the compression-conversion follow-up:
 
 * ``sbr`` — key ``(vendor, resource_size)``, runs one SBR measurement
   (memoized through :func:`repro.runner.memo.measure_sbr`);
 * ``obr`` — key ``(fcdn, bcdn)``, searches max n and measures one OBR
   cascade;
+* ``ccfc`` — key ``(vendor, resource_size)``, one compression-conversion
+  measurement (memoized through :func:`repro.runner.memo.measure_ccfc`);
 * ``flood`` — key ``(vendor, m)``, one Fig 7 bandwidth simulation;
 * ``sbr-faults`` — key ``(vendor, resource_size, seed)``, one SBR
   measurement under a seeded fault plan with vendor retries engaged.
@@ -25,7 +27,7 @@ from repro.core.obr import ObrAttack
 from repro.core.practical import BandwidthAttackSimulation
 from repro.errors import ConfigurationError
 from repro.runner.grid import ExperimentCell
-from repro.runner.memo import measure_sbr
+from repro.runner.memo import measure_ccfc, measure_sbr
 
 CellFunction = Callable[[ExperimentCell], Any]
 
@@ -69,6 +71,17 @@ def _run_sbr_cell(cell: ExperimentCell) -> Any:
     vendor, resource_size = cell.key
     rounds = cell.kwargs().get("rounds", 1)
     return measure_sbr(vendor, resource_size, rounds)
+
+
+def ccfc_cell(vendor: str, resource_size: int, rounds: int = 1) -> ExperimentCell:
+    """Compression-conversion cell: one vendor at one resource size."""
+    return ExperimentCell.make("ccfc", (vendor, resource_size), rounds=rounds)
+
+
+def _run_ccfc_cell(cell: ExperimentCell) -> Any:
+    vendor, resource_size = cell.key
+    rounds = cell.kwargs().get("rounds", 1)
+    return measure_ccfc(vendor, resource_size, rounds)
 
 
 def obr_cell(
@@ -148,5 +161,6 @@ def _run_faulted_sbr_cell(cell: ExperimentCell) -> Any:
 
 register("sbr", _run_sbr_cell)
 register("obr", _run_obr_cell)
+register("ccfc", _run_ccfc_cell)
 register("flood", _run_flood_cell)
 register("sbr-faults", _run_faulted_sbr_cell)

@@ -32,7 +32,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.vectorized import ExactModelError, ObrFastEngine, SbrFastEngine
+from repro.core.vectorized import (
+    CcfcFastEngine,
+    ExactModelError,
+    ObrFastEngine,
+    SbrFastEngine,
+)
 from repro.errors import ReproError
 from repro.obs.metrics import current_metrics
 from repro.runner.checkpoint import cell_digest
@@ -40,10 +45,10 @@ from repro.runner.executor import CellOutcome
 from repro.runner.grid import ExperimentCell, ExperimentGrid
 
 #: Experiment kinds the planner may answer from closed forms.
-FAST_EXPERIMENTS: Tuple[str, ...] = ("sbr", "obr")
+FAST_EXPERIMENTS: Tuple[str, ...] = ("sbr", "obr", "ccfc")
 
-#: One in every this-many fast-answered SBR cells is re-simulated and
-#: compared bit-for-bit after the grid run.
+#: One in every this-many fast-answered SBR/CCFC cells is re-simulated
+#: and compared bit-for-bit after the grid run.
 DEFAULT_VALIDATE_DENOMINATOR = 8
 
 
@@ -109,6 +114,7 @@ class FastPathPlanner:
         self.validate_denominator = validate_denominator
         self.sbr = SbrFastEngine()
         self.obr = ObrFastEngine()
+        self.ccfc = CcfcFastEngine()
         #: ``(cell, fast_value)`` pairs queued for :meth:`validate`.
         self._samples: List[Tuple[ExperimentCell, Any]] = []
         self._validated = 0
@@ -136,6 +142,10 @@ class FastPathPlanner:
                 vendor, resource_size = cell.key
                 rounds = cell.kwargs().get("rounds", 1)
                 return self.sbr.measure(vendor, resource_size, rounds=rounds)
+            if cell.experiment == "ccfc":
+                vendor, resource_size = cell.key
+                rounds = cell.kwargs().get("rounds", 1)
+                return self.ccfc.measure(vendor, resource_size, rounds=rounds)
             fcdn, bcdn = cell.key
             params = cell.kwargs()
             overlap_count = params.get("overlap_count", 0)
@@ -177,7 +187,7 @@ class FastPathPlanner:
                 duration_s=time.perf_counter() - started,
             )
             if (
-                cell.experiment == "sbr"
+                cell.experiment in ("sbr", "ccfc")
                 and _digest_bucket(cell, self.validate_denominator) == 0
             ):
                 self._samples.append((cell, value))
@@ -230,5 +240,9 @@ class FastPathPlanner:
             refused=self._refused,
             ineligible=self._ineligible,
             validated=self._validated,
-            calibration_runs=self.sbr.calibration_runs + self.obr.calibration_runs,
+            calibration_runs=(
+                self.sbr.calibration_runs
+                + self.obr.calibration_runs
+                + self.ccfc.calibration_runs
+            ),
         )

@@ -153,6 +153,19 @@ def measure_sbr(vendor: str, resource_size: int, rounds: int = 1) -> Any:
     return SbrAttack(vendor, resource_size=resource_size).run(rounds=rounds)
 
 
+@memoize(maxsize=2048)
+def measure_ccfc(vendor: str, resource_size: int, rounds: int = 1) -> Any:
+    """Memoized CCFC measurement for one (vendor, size, rounds) cell.
+
+    Returns the :class:`~repro.core.ccfc.CcfcResult`.  ``CcfcAttack.run``
+    builds a fresh deployment per call, so the result depends only on
+    the arguments and caching is sound.
+    """
+    from repro.core.ccfc import CcfcAttack
+
+    return CcfcAttack(vendor, resource_size=resource_size).run(rounds=rounds)
+
+
 def sbr_per_request_traffic(vendor: str, resource_size: int) -> Tuple[int, int]:
     """(origin_bytes, client_bytes) one SBR round moves — memoized.
 

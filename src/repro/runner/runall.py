@@ -71,6 +71,8 @@ class RunAllReport:
     spans: Tuple[Any, ...] = ()
     events: Tuple[Any, ...] = ()
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Compression-conversion rows (CCFC, arXiv 2409.00712 follow-up).
+    table_ccfc: List = field(default_factory=list)
     #: Faulted-SBR rows (Table VI) — empty unless the run was faulted.
     table_faults: List = field(default_factory=list)
     #: Seed the faulted cells ran under (``None`` for clean runs).
@@ -106,6 +108,7 @@ def build_run_all_grid(
     fault_sizes: Sequence[int] = (),
     fault_seed: int = DEFAULT_FAULT_SEED,
     fault_rounds: int = DEFAULT_FAULT_ROUNDS,
+    ccfc_sizes: Sequence[int] = (10 * MB,),
 ) -> ExperimentGrid:
     """The combined Tables IV–V / Figs 6–7 grid (deduped, ordered).
 
@@ -145,6 +148,10 @@ def build_run_all_grid(
     )
     grid.extend(sbr_grid(names, tuple(sizes6), name="fig6-sbr").cells)
     grid.extend(sbr_grid(names, tuple(table4_sizes), name="table4-sbr").cells)
+    if ccfc_sizes:
+        from repro.core.ccfc import ccfc_grid
+
+        grid.extend(ccfc_grid(names, tuple(ccfc_sizes)).cells)
     return grid
 
 
@@ -191,6 +198,7 @@ def run_all(
     """
     from repro.reporting.figures import fig6_series_from_results
     from repro.reporting.tables import (
+        ccfc_rows_from_results,
         fault_rows_from_results,
         table4_rows_from_results,
         table5_rows_from_results,
@@ -202,6 +210,7 @@ def run_all(
         table4_sizes: Sequence[int] = (1 * MB,)
         combos: Sequence[Tuple[str, str]] = QUICK_TABLE5_COMBOS
         fig7_ms: Sequence[int] = QUICK_FIG7_MS
+        ccfc_sizes: Sequence[int] = (1 * MB,)
     else:
         from repro.reporting.figures import default_fig6_sizes
 
@@ -209,6 +218,7 @@ def run_all(
         table4_sizes = (1 * MB, 10 * MB, 25 * MB)
         combos = vulnerable_combinations()
         fig7_ms = tuple(range(1, 16))
+        ccfc_sizes = (10 * MB,)
     fault_sizes: Sequence[int] = ()
     fault_rounds = DEFAULT_FAULT_ROUNDS
     if faults:
@@ -223,6 +233,7 @@ def run_all(
         fig7_ms=fig7_ms,
         fault_sizes=fault_sizes,
         fault_seed=fault_seed,
+        ccfc_sizes=ccfc_sizes,
     )
 
     if resume and checkpoint_path is None:
@@ -290,7 +301,19 @@ def run_all(
         )
     result.values()  # any failed cell aborts the regeneration, loudly
 
-    by_key = result.value_by_key()
+    # CCFC cells share the (vendor, size) key shape with SBR cells, so
+    # the two experiments must be keyed separately — a merged map would
+    # let whichever cell ran later shadow the other's result.
+    by_key = {
+        outcome.cell.key: outcome.value
+        for outcome in result
+        if outcome.ok and outcome.cell.experiment != "ccfc"
+    }
+    ccfc_by_key = {
+        outcome.cell.key: outcome.value
+        for outcome in result
+        if outcome.ok and outcome.cell.experiment == "ccfc"
+    }
     flood_values = [
         outcome.value for outcome in result if outcome.cell.experiment == "flood"
     ]
@@ -362,6 +385,7 @@ def run_all(
         spans=tuple(spans),
         events=tuple(events),
         metrics=metrics,
+        table_ccfc=ccfc_rows_from_results(ccfc_by_key, names, ccfc_sizes),
         table_faults=(
             fault_rows_from_results(by_key, names, fault_sizes, fault_seed)
             if fault_sizes
@@ -436,6 +460,23 @@ def write_report(
                     [f"{size // MB}MB"]
                     + [f"{series.factors[i]:.0f}" for series in report.fig6]
                     for i, size in enumerate(report.fig6[0].sizes)
+                ],
+            ),
+        )
+    if report.table_ccfc:
+        ccfc_sizes = sorted(report.table_ccfc[0].factors)
+        _write(
+            "table_ccfc.txt",
+            render_table(
+                ["CDN", "Negotiated coding"]
+                + [f"{s // MB}MB factor" for s in ccfc_sizes],
+                [
+                    [
+                        row.display_name,
+                        row.encoding or "-",
+                        *(f"{row.factors[s]:.1f}" for s in ccfc_sizes),
+                    ]
+                    for row in report.table_ccfc
                 ],
             ),
         )

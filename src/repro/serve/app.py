@@ -4,8 +4,9 @@
 its own — the asyncio layer (:mod:`repro.serve.server`) feeds it parsed
 :class:`~repro.http.message.HttpRequest` objects.  Endpoints:
 
-* ``POST /v1/analyze`` — batch of items, each a vendor (SBR) or an
-  FCDN/BCDN pair (OBR); answers are the closed-form findings of
+* ``POST /v1/analyze`` — batch of items, each a vendor (SBR by
+  default, CCFC with ``"attack": "ccfc"``) or an FCDN/BCDN pair (OBR);
+  answers are the closed-form findings of
   :func:`~repro.analysis.report.analyze_vendor_matrix`, optionally
   augmented with an exact simulated factor (``"exact": true``);
 * ``POST /v1/recommend`` — same item shapes; answers add the cheapest
@@ -173,7 +174,7 @@ async def drive_async(steps: _Steps) -> _Result:
 class _Item:
     """One validated batch item."""
 
-    kind: str  # "sbr" | "obr"
+    kind: str  # "sbr" | "obr" | "ccfc"
     vendor: str = ""
     fcdn: str = ""
     bcdn: str = ""
@@ -426,9 +427,14 @@ class AnalysisService:
         has_pair = "fcdn" in raw or "bcdn" in raw
         if has_vendor == has_pair:
             return _Item.invalid(
-                'item needs either "vendor" (SBR) or "fcdn"+"bcdn" (OBR)'
+                'item needs either "vendor" (SBR/CCFC) or "fcdn"+"bcdn" (OBR)'
             )
+        attack = raw.get("attack")
+        if attack is not None and attack not in ("sbr", "obr", "ccfc"):
+            return _Item.invalid(f"unknown attack {attack!r}")
         if has_vendor:
+            if attack == "obr":
+                return _Item.invalid('attack "obr" needs "fcdn"+"bcdn"')
             vendor = raw["vendor"]
             if vendor not in self._vendors:
                 return _Item.invalid(f"unknown vendor {vendor!r}")
@@ -437,9 +443,12 @@ class AnalysisService:
                 return _Item.invalid(tail)
             size, exact, threshold = tail
             return _Item(
-                kind="sbr", vendor=vendor, size=size, exact=exact,
+                kind=attack if attack is not None else "sbr",
+                vendor=vendor, size=size, exact=exact,
                 threshold=threshold,
             )
+        if attack is not None and attack != "obr":
+            return _Item.invalid(f'attack {attack!r} needs "vendor"')
         fcdn, bcdn = raw.get("fcdn"), raw.get("bcdn")
         if fcdn not in self._vendors or bcdn not in self._vendors:
             return _Item.invalid(f"unknown cascade {fcdn!r} -> {bcdn!r}")
@@ -492,13 +501,37 @@ class AnalysisService:
             key = ("sbr", item.vendor, item.size)
 
             def compute_sbr() -> Finding:
+                # Select by kind: the single-vendor matrix also carries
+                # the CCFC finding, which can outrank the SBR one.
                 report = analyze_vendor_matrix(
                     resource_size=item.size, vendors=[item.vendor]
                 )
+                for finding in report.by_kind("sbr"):
+                    return finding
+                for finding in report.by_kind("safe"):
+                    if finding.data.get("attack") != "ccfc":
+                        return finding
                 return report.findings[0]
 
             return cast(Finding, self.memo.get_or_compute(
                 "findings", key, compute_sbr
+            ))
+        if item.kind == "ccfc":
+            key = ("ccfc", item.vendor, item.size)
+
+            def compute_ccfc() -> Finding:
+                report = analyze_vendor_matrix(
+                    ccfc_resource_size=item.size, vendors=[item.vendor]
+                )
+                for finding in report.by_kind("ccfc"):
+                    return finding
+                for finding in report.by_kind("safe"):
+                    if finding.data.get("attack") == "ccfc":
+                        return finding
+                return report.findings[0]
+
+            return cast(Finding, self.memo.get_or_compute(
+                "findings", key, compute_ccfc
             ))
         key = ("obr", item.fcdn, item.bcdn, item.size)
 
@@ -531,12 +564,14 @@ class AnalysisService:
                 findings=(finding,),
                 resource_size=item.size if finding.kind == "sbr" else 10 * MB,
                 obr_resource_size=item.size if finding.kind == "obr" else 1024,
+                ccfc_resource_size=item.size if finding.kind == "ccfc" else 10 * MB,
             )
             result = recommend(
                 resource_size=report.resource_size,
                 obr_resource_size=report.obr_resource_size,
                 threshold=item.threshold,
                 report=report,
+                ccfc_resource_size=report.ccfc_resource_size,
             )
             recommendation = result.recommendations[0]
             return {
@@ -552,8 +587,10 @@ class AnalysisService:
     # -- the breaker-guarded exact path -------------------------------------
 
     def _exact(self, item: _Item, finding: Finding) -> Dict[str, Any]:
-        if finding.kind != "sbr":
-            return {"exact_skipped": "exact measurement applies to SBR items only"}
+        if finding.kind not in ("sbr", "ccfc"):
+            return {
+                "exact_skipped": "exact measurement applies to SBR/CCFC items only"
+            }
         if item.size > self.config.exact_max_size:
             return {
                 "exact_skipped": (
@@ -565,7 +602,10 @@ class AnalysisService:
             return {"degraded": True, "degraded_reason": "breaker-open"}
         started = self.clock()
         try:
-            factor = self._exact_runner(item.vendor, item.size)
+            if finding.kind == "ccfc":
+                factor = self._exact_ccfc(item.vendor, item.size)
+            else:
+                factor = self._exact_runner(item.vendor, item.size)
         except Exception as exc:
             self.breaker.record_failure(self.clock())
             return {
@@ -579,6 +619,20 @@ class AnalysisService:
         else:
             self.breaker.record_success(self.clock())
         return {"exact_factor": round(factor, 2)}
+
+    def _exact_ccfc(self, vendor: str, size: int) -> float:
+        """Exact CCFC measurement (memoized; no fault-plan variant — the
+        CCFC flow has no range algebra for faults to perturb)."""
+
+        def compute() -> float:
+            from repro.runner.memo import measure_ccfc
+
+            return float(measure_ccfc(vendor, size).amplification)
+
+        return cast(
+            float,
+            self.memo.get_or_compute("exact", ("ccfc", vendor, size), compute),
+        )
 
     def _default_exact(self, vendor: str, size: int) -> float:
         if self.fault_plan is not None:

@@ -21,6 +21,8 @@ class TestAnalyzeTable:
         output = capsys.readouterr().out
         assert "13 SBR-vulnerable vendor(s)" in output
         assert "11 OBR-vulnerable cascade(s)" in output
+        assert "7 CCFC-vulnerable vendor(s)" in output
+        assert "6 safe" in output
 
     def test_severity_orders_the_rows(self, capsys):
         assert main(["analyze"]) == 0
@@ -34,11 +36,40 @@ class TestAnalyzeJson:
         decoded = json.loads(capsys.readouterr().out)
         assert decoded["resource_size"] == 10 * (1 << 20)
         kinds = {finding["kind"] for finding in decoded["findings"]}
-        assert kinds == {"sbr", "obr"}
+        assert kinds == {"sbr", "obr", "ccfc", "safe"}
         obr = [f for f in decoded["findings"] if f["kind"] == "obr"]
         assert len(obr) == 11
         for finding in obr:
             assert finding["data"]["max_n"] >= 2
+        ccfc = [f for f in decoded["findings"] if f["kind"] == "ccfc"]
+        assert len(ccfc) == 7
+        for finding in ccfc:
+            assert finding["data"]["attack"] == "ccfc"
+            assert finding["data"]["encoding"] in ("br", "gzip")
+
+    def test_ccfc_findings_golden_shape(self, capsys):
+        assert main(["analyze", "--format", "json", "--ccfc-size-mb", "1"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["ccfc_resource_size"] == 1 << 20
+        by_subject = {
+            f["subject"]: f for f in decoded["findings"] if f["kind"] == "ccfc"
+        }
+        # The brotli rewriters sit at the top of the family, the gzip
+        # rewriters below them; both bounds are pinned to 1dp here so a
+        # ratio or header-accounting drift fails loudly.
+        assert by_subject["cloudflare"]["data"]["encoding"] == "br"
+        assert round(by_subject["cloudflare"]["factor_bound"], 1) == 1290.8
+        assert by_subject["fastly"]["data"]["encoding"] == "gzip"
+        assert round(by_subject["fastly"]["factor_bound"], 1) == 783.1
+        # Rewrite-without-decompress stays safe: the edge relays the
+        # compressed body, so there is nothing to inflate.
+        safe = {
+            f["subject"]: f
+            for f in decoded["findings"]
+            if f["kind"] == "safe" and f["data"].get("attack") == "ccfc"
+        }
+        assert safe["tencent"]["mechanism"] == "rewrite-no-decompress"
+        assert safe["gcore"]["mechanism"] == "strip"
 
     def test_size_flags_change_the_bounds(self, capsys):
         assert main(["analyze", "--format", "json", "--size-mb", "1"]) == 0

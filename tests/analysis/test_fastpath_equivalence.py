@@ -27,7 +27,9 @@ from repro.analysis.bounds import obr_bound, sbr_bound, static_max_n
 from repro.cdn.vendors import all_vendor_names
 from repro.core.obr import ObrAttack, vulnerable_combinations
 from repro.core.sbr import SbrAttack
+from repro.core.ccfc import CcfcAttack
 from repro.core.vectorized import (
+    CcfcFastEngine,
     ExactModelError,
     ObrFastEngine,
     SbrFastEngine,
@@ -86,6 +88,31 @@ class TestTable5BitIdentity:
         assert fast == simulated, (
             f"{fcdn}->{bcdn}: fast path diverged from simulation at n={max_n}"
         )
+
+
+class TestCcfcBitIdentity:
+    """All 13 vendors at the paper sizes — the mirror is exact by
+    construction (no calibration), so the full result dataclass must
+    match, not just the factor."""
+
+    @pytest.mark.parametrize("vendor", all_vendor_names())
+    def test_vendor_matches_simulation_exactly(self, vendor):
+        engine = CcfcFastEngine()
+        for size in (1 * MB, 10 * MB):
+            fast = engine.measure(vendor, size)
+            simulated = CcfcAttack(vendor, resource_size=size).run()
+            assert fast == simulated, (
+                f"{vendor} at {size}: fast path diverged from simulation"
+            )
+        assert engine.calibration_runs == 0
+
+    def test_unknown_vendor_rejected(self):
+        with pytest.raises(ExactModelError):
+            CcfcFastEngine().measure("nosuch", 1 * MB)
+
+    def test_degenerate_size_rejected(self):
+        with pytest.raises(ExactModelError):
+            CcfcFastEngine().measure("cloudflare", 0)
 
 
 class TestRandomCells:
@@ -181,7 +208,7 @@ class TestPlannerLayer:
         # fall through to the residual.
         for index, outcome in plan.outcomes.items():
             assert grid.cells[index] == outcome.cell
-            assert outcome.cell.experiment in ("sbr", "obr")
+            assert outcome.cell.experiment in ("sbr", "obr", "ccfc")
         assert {cell.experiment for cell in plan.residual} == {"flood"}
 
     def test_fast_answers_equal_cell_functions(self):

@@ -160,6 +160,7 @@ class TestJsonShape:
             "threshold",
             "resource_size",
             "obr_resource_size",
+            "ccfc_resource_size",
             "with_retries",
             "all_resolved",
             "recommendations",
@@ -219,9 +220,10 @@ class TestCliTable:
         assert main(["recommend"]) == 0
         output = capsys.readouterr().out
         assert "Mitigation" in output and "Residual" in output
-        assert "13 SBR and 11 OBR finding(s)" in output
+        assert "13 SBR, 11 OBR, and 7 CCFC finding(s)" in output
         assert "laziness@cdn" in output
         assert "overlap-rejection@bcdn" in output
+        assert "encoding-passthrough@cdn" in output
 
     def test_unreachable_threshold_exits_one(self, capsys):
         assert main(["recommend", "--threshold", "1.0"]) == 1

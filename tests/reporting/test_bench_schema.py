@@ -95,6 +95,14 @@ class TestRejection:
         with pytest.raises(BenchSchemaError, match="unknown benchmark schema"):
             bench_from_dict(self._payload(schema_version=BENCH_SCHEMA_VERSION + 1))
 
+    def test_version_one_files_rejected_after_ccfc_bump(self):
+        # The grid gained CCFC cells in schema version 2: cell counts
+        # and phase totals from version-1 builds are not comparable, so
+        # the strict loader refuses them outright.
+        assert BENCH_SCHEMA_VERSION == 2
+        with pytest.raises(BenchSchemaError, match="unknown benchmark schema"):
+            bench_from_dict(self._payload(schema_version=1))
+
     def test_missing_field_rejected(self):
         payload = self._payload()
         del payload["wall_s"]

@@ -227,13 +227,14 @@ class TestRunAllHarvest:
             table4_sizes=(1 * MB,),
             table5_combos=[("cloudflare", "akamai"), ("cdn77", "azure")],
             fig7_ms=(2, 12, 15),
+            ccfc_sizes=(1 * MB,),
         )
         assert [c.label for c in report.cells] == [c.label for c in grid.cells]
         assert len(report.cells) == report.cell_count
         assert all(cell.ok for cell in report.cells)
 
     def test_timing_by_experiment_partitions_the_run(self, report):
-        assert set(report.timing_by_experiment) == {"sbr", "obr", "flood"}
+        assert set(report.timing_by_experiment) == {"sbr", "obr", "ccfc", "flood"}
         assert (
             sum(t.count for t in report.timing_by_experiment.values())
             == report.timing.count

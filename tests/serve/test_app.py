@@ -109,6 +109,41 @@ class TestAnalyzeBatch:
         assert payload["degraded"] is False
         assert payload["results"][0]["finding"]["factor_bound"] > 1000
 
+    def test_ccfc_items_classify_and_measure_exactly(self):
+        service = AnalysisService()
+        response = service.handle(
+            batch_request(
+                "/v1/analyze",
+                [
+                    {
+                        "vendor": "cloudflare",
+                        "attack": "ccfc",
+                        "size": MB,
+                        "exact": True,
+                    },
+                    {"vendor": "tencent", "attack": "ccfc", "size": MB},
+                    {"vendor": "fastly", "attack": "obr"},
+                    {"fcdn": "cdn77", "bcdn": "akamai", "attack": "ccfc"},
+                ],
+            )
+        )
+        assert response.status == 200
+        results = body_json(response)["results"]
+        vulnerable = results[0]
+        assert vulnerable["finding"]["kind"] == "ccfc"
+        assert vulnerable["finding"]["data"]["encoding"] == "br"
+        # The wire-level replay must land inside the (2dp-rounded)
+        # closed-form bound it is reported against.
+        assert vulnerable["exact_factor"] <= (
+            vulnerable["finding"]["factor_bound"] + 0.01
+        )
+        assert vulnerable["exact_factor"] > 1000
+        safe = results[1]
+        assert safe["finding"]["kind"] == "safe"
+        assert safe["finding"]["data"]["attack"] == "ccfc"
+        assert "error" in results[2]  # a vendor item cannot ask for OBR
+        assert "error" in results[3]  # a pair item cannot ask for CCFC
+
     def test_per_item_errors_do_not_fail_the_batch(self):
         service = AnalysisService()
         response = service.handle(
@@ -145,7 +180,7 @@ class TestAnalyzeBatch:
         assert response.status == 200
         payload = body_json(response)
         assert payload["results"][0]["exact_skipped"] == (
-            "exact measurement applies to SBR items only"
+            "exact measurement applies to SBR/CCFC items only"
         )
         assert payload["degraded"] is False
         assert calls == []  # the exact runner never fires for OBR
